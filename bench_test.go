@@ -1,0 +1,149 @@
+package imdist
+
+// This file contains one benchmark per table and figure of the paper's
+// evaluation section, plus micro-benchmarks of the public API. Each
+// table/figure benchmark drives the same experiment harness cmd/imexp uses,
+// at the unit preset so the whole suite completes in minutes; run cmd/imexp
+// with -preset small or -preset paper to regenerate the artefacts at full
+// fidelity (see EXPERIMENTS.md).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imdist/internal/experiment"
+)
+
+// benchmarkExperiment runs one registered experiment b.N times on a shared
+// unit-preset environment (the environment caches graphs and oracles, so the
+// steady-state iteration measures the sweep itself). It reports the number of
+// output rows so regressions in coverage are visible alongside timing.
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	env, err := experiment.NewEnv(experiment.Unit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiment.Run(&buf, id, env); err != nil {
+			b.Fatal(err)
+		}
+		rows = strings.Count(buf.String(), "\n")
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkTable3NetworkStats(b *testing.B)             { benchmarkExperiment(b, "table3") }
+func BenchmarkTable4TopSingleVertexInfluence(b *testing.B) { benchmarkExperiment(b, "table4") }
+func BenchmarkTable5LeastSampleNumber(b *testing.B)        { benchmarkExperiment(b, "table5") }
+func BenchmarkTable6OneshotVsSnapshot(b *testing.B)        { benchmarkExperiment(b, "table6") }
+func BenchmarkTable7RISVsSnapshot(b *testing.B)            { benchmarkExperiment(b, "table7") }
+func BenchmarkTable8TraversalCost(b *testing.B)            { benchmarkExperiment(b, "table8") }
+func BenchmarkTable9IdenticalAccuracyCost(b *testing.B)    { benchmarkExperiment(b, "table9") }
+func BenchmarkFig1EntropyKarate(b *testing.B)              { benchmarkExperiment(b, "fig1") }
+func BenchmarkFig2EntropyPlateau(b *testing.B)             { benchmarkExperiment(b, "fig2") }
+func BenchmarkFig3EntropyByProbability(b *testing.B)       { benchmarkExperiment(b, "fig3") }
+func BenchmarkFig4InfluenceBoxPlots(b *testing.B)          { benchmarkExperiment(b, "fig4") }
+func BenchmarkFig5GrQcConvergence(b *testing.B)            { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6MeanVsSpread(b *testing.B)               { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7ComparableNumberRatio(b *testing.B)      { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8ComparableSizeRatio(b *testing.B)        { benchmarkExperiment(b, "fig8") }
+func BenchmarkExactCheckCrossValidation(b *testing.B)      { benchmarkExperiment(b, "exactcheck") }
+func BenchmarkHeuristicsQualityComparison(b *testing.B)    { benchmarkExperiment(b, "heuristics") }
+
+// BenchmarkSelectSeeds measures the public API's seed selection for each
+// approach on Karate (uc0.1, k=4) at a mid-range sample number.
+func BenchmarkSelectSeeds(b *testing.B) {
+	network, err := LoadDataset("Karate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("uc0.1", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		approach Approach
+		samples  int
+	}{
+		{Oneshot, 256},
+		{Snapshot, 256},
+		{RIS, 16384},
+	}
+	for _, c := range cases {
+		b.Run(string(c.approach), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ig.SelectSeeds(SeedOptions{
+					Approach:     c.approach,
+					SeedSize:     4,
+					SampleNumber: c.samples,
+					Seed:         uint64(i + 1),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInfluenceOracle measures oracle construction and queries.
+func BenchmarkInfluenceOracle(b *testing.B) {
+	network, err := LoadDataset("Karate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("iwc", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Build100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ig.NewInfluenceOracle(100000, uint64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	oracle, err := ig.NewInfluenceOracle(100000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := oracle.GreedySeeds(4)
+	b.Run("Query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = oracle.Influence(seeds)
+		}
+	})
+}
+
+// BenchmarkStudyDistribution measures the core methodology primitive: T
+// trials of one approach at one sample number.
+func BenchmarkStudyDistribution(b *testing.B) {
+	network, err := LoadDataset("Karate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("uc0.1", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle, err := ig.NewInfluenceOracle(20000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := ig.StudyDistribution(StudyOptions{
+			Approach:     Snapshot,
+			SeedSize:     4,
+			SampleNumber: 64,
+			Trials:       24,
+			Seed:         uint64(i + 1),
+			Oracle:       oracle,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

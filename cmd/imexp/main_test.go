@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table3", "table9", "fig1", "fig8"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-preset", "unit"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Karate") {
+		t.Errorf("table3 output missing Karate row:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"-exp", "bogus", "-preset", "unit"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-exp", "table3", "-preset", "huge"}, &buf); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-exp", "table4", "-preset", "unit", "-seed", "123"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table4", "-preset", "unit", "-seed", "123"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different experiment output")
+	}
+}

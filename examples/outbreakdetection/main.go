@@ -1,0 +1,78 @@
+// Outbreak detection scenario: place k monitoring stations in a contact
+// network so that an infection starting anywhere is likely to reach a station
+// (the classic dual of influence maximization, cf. CELF's water-network and
+// blog cascades). Because monitoring should catch outbreaks travelling
+// *towards* the stations, the example works on the transposed influence
+// direction by construction of the contact network.
+//
+// The example also demonstrates the paper's core methodological point: with
+// too few samples the selected stations vary wildly between runs, and the
+// run-to-run diversity (Shannon entropy) only vanishes once the sample number
+// is large enough.
+//
+// Run with:
+//
+//	go run ./examples/outbreakdetection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imdist"
+)
+
+func main() {
+	// A small-world contact network: 500 individuals, each in touch with a
+	// handful of neighbours, with occasional long-range contacts.
+	network, err := imdist.GenerateBA(500, 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Uniform 5% transmission probability per contact.
+	contacts, err := network.AssignUniform(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := contacts.NewInfluenceOracle(200000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 5
+	fmt.Printf("contact network: %d people, %d directed contacts\n", contacts.NumVertices(), contacts.NumEdges())
+	fmt.Printf("placing %d monitoring stations with Snapshot\n\n", k)
+
+	// Sweep the sample number and watch the solution distribution settle.
+	fmt.Printf("%10s %10s %14s %14s %12s\n", "samples", "entropy", "distinct sets", "mean coverage", "modal count")
+	for _, samples := range []int{1, 4, 16, 64, 256} {
+		study, err := contacts.StudyDistribution(imdist.StudyOptions{
+			Approach:     imdist.Snapshot,
+			SeedSize:     k,
+			SampleNumber: samples,
+			Trials:       50,
+			Seed:         99,
+			Oracle:       oracle,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %10.2f %14d %14.1f %12d\n",
+			samples, study.Entropy, study.DistinctSeedSets, study.MeanInfluence, study.ModalCount)
+	}
+
+	// Final placement with a comfortable sample number.
+	res, err := contacts.SelectSeeds(imdist.SeedOptions{
+		Approach:     imdist.Snapshot,
+		SeedSize:     k,
+		SampleNumber: 512,
+		Seed:         123,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal station placement: %v\n", res.Seeds)
+	fmt.Printf("expected number of people within reach of a station: %.1f\n", oracle.Influence(res.Seeds))
+	fmt.Println("\nWith one snapshot the placement changes on every run; by a few hundred")
+	fmt.Println("snapshots every run agrees — the entropy collapse of the paper's Figure 1.")
+}

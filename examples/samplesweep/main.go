@@ -1,0 +1,87 @@
+// Sample-number selection: the paper's Table 5 shows that the sample number
+// required for near-optimal solutions varies by orders of magnitude across
+// instances, so fixing it blindly (as older benchmarks did) is unsafe. This
+// example reproduces that analysis on a single instance through the public
+// API: it sweeps the sample number of each approach and reports the smallest
+// one whose solutions are near-optimal (>= 95% of the reference) in at least
+// 99% of trials.
+//
+// Run with:
+//
+//	go run ./examples/samplesweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imdist"
+)
+
+func main() {
+	network, err := imdist.LoadDataset("Karate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("iwc", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := ig.NewInfluenceOracle(300000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		k        = 4
+		trials   = 100
+		fraction = 0.95
+		prob     = 0.99
+	)
+	reference := oracle.Influence(oracle.GreedySeeds(k))
+	fmt.Printf("instance: Karate (iwc, k=%d); reference influence %.2f\n", k, reference)
+	fmt.Printf("criterion: influence >= %.0f%% of reference in >= %.0f%% of %d trials\n\n",
+		fraction*100, prob*100, trials)
+
+	approaches := []struct {
+		name   imdist.Approach
+		levels []int
+	}{
+		{imdist.Oneshot, []int{1, 4, 16, 64, 256, 1024}},
+		{imdist.Snapshot, []int{1, 4, 16, 64, 256, 1024}},
+		{imdist.RIS, []int{16, 64, 256, 1024, 4096, 16384, 65536}},
+	}
+	fmt.Printf("%-9s %12s %10s %14s\n", "approach", "samples*", "entropy", "mean influence")
+	for _, a := range approaches {
+		found := false
+		for _, samples := range a.levels {
+			study, err := ig.StudyDistribution(imdist.StudyOptions{
+				Approach:     a.name,
+				SeedSize:     k,
+				SampleNumber: samples,
+				Trials:       trials,
+				Seed:         2718,
+				Oracle:       oracle,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			nearOptimal := 0
+			for _, inf := range study.Influences {
+				if inf >= fraction*reference {
+					nearOptimal++
+				}
+			}
+			if float64(nearOptimal)/float64(trials) >= prob {
+				fmt.Printf("%-9s %12d %10.2f %14.2f\n", a.name, samples, study.Entropy, study.MeanInfluence)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-9s %12s\n", a.name, "> swept range")
+		}
+	}
+	fmt.Println("\nOneshot and Snapshot need only tens-to-hundreds of samples here, while RIS")
+	fmt.Println("needs thousands of (much smaller) RR sets — the asymmetry behind the")
+	fmt.Println("paper's Tables 5-7.")
+}

@@ -1,0 +1,474 @@
+// Package imdist is a Go library for influence maximization under the
+// Independent Cascade model and for studying the solution distribution of its
+// three classic algorithmic approaches — Oneshot (Monte-Carlo simulation),
+// Snapshot (pre-sampled live-edge graphs) and Reverse Influence Sampling
+// (RIS) — reproducing the experimental methodology of:
+//
+//	Naoto Ohsaka. "The Solution Distribution of Influence Maximization: A
+//	High-level Experimental Study on Three Algorithmic Approaches."
+//	SIGMOD 2020.
+//
+// The package exposes a small high-level API:
+//
+//   - Load or generate a network (LoadEdgeList, LoadDataset, GenerateBA, ...)
+//   - Attach edge probabilities (AssignProbabilities with "uc0.1", "uc0.01",
+//     "iwc", "owc", "tv")
+//   - Select seeds with any of the three approaches (SelectSeeds)
+//   - Estimate influence spread with a reusable RR-set oracle
+//     (NewInfluenceOracle)
+//   - Study the distribution of random solutions over many trials
+//     (StudyDistribution), the core of the paper's methodology
+//
+// The full experiment harness that regenerates every table and figure lives
+// in cmd/imexp; the lower-level building blocks are in the internal packages.
+package imdist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"imdist/internal/core"
+	"imdist/internal/data"
+	"imdist/internal/diffusion"
+	"imdist/internal/estimator"
+	"imdist/internal/gen"
+	"imdist/internal/graph"
+	"imdist/internal/greedy"
+	"imdist/internal/rng"
+	"imdist/internal/workload"
+)
+
+// Network is a directed graph.
+type Network struct {
+	g *graph.Graph
+}
+
+// InfluenceNetwork is a directed graph with an influence probability on every
+// edge.
+type InfluenceNetwork struct {
+	ig *graph.InfluenceGraph
+}
+
+// NumVertices returns the number of vertices.
+func (n *Network) NumVertices() int { return n.g.NumVertices() }
+
+// NumEdges returns the number of directed edges.
+func (n *Network) NumEdges() int { return n.g.NumEdges() }
+
+// NumVertices returns the number of vertices.
+func (n *InfluenceNetwork) NumVertices() int { return n.ig.NumVertices() }
+
+// NumEdges returns the number of directed edges.
+func (n *InfluenceNetwork) NumEdges() int { return n.ig.NumEdges() }
+
+// SumProbabilities returns m̃ = Σ_e p(e), the expected number of live edges.
+func (n *InfluenceNetwork) SumProbabilities() float64 { return n.ig.SumProbabilities() }
+
+// Stats summarizes the structure of a network (Table 3 of the paper).
+type Stats struct {
+	Vertices              int
+	Edges                 int
+	MaxOutDegree          int
+	MaxInDegree           int
+	ClusteringCoefficient float64
+	AverageDistance       float64
+}
+
+// Stats computes structural statistics of the network.
+func (n *Network) Stats() Stats {
+	s := graph.ComputeStats(n.g, 64)
+	return Stats{
+		Vertices:              s.Vertices,
+		Edges:                 s.Edges,
+		MaxOutDegree:          s.MaxOutDegree,
+		MaxInDegree:           s.MaxInDegree,
+		ClusteringCoefficient: s.ClusteringCoefficient,
+		AverageDistance:       s.AverageDistance,
+	}
+}
+
+// LoadEdgeList parses a whitespace-separated directed edge list (SNAP/KONECT
+// style, '#' and '%' comments allowed). Vertex ids are compacted to 0..n-1.
+func LoadEdgeList(r io.Reader) (*Network, error) {
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// WriteEdgeList writes the network as a directed edge list readable by
+// LoadEdgeList.
+func (n *Network) WriteEdgeList(w io.Writer) error { return graph.WriteEdgeList(w, n.g) }
+
+// LoadDataset materializes one of the study's named datasets ("Karate",
+// "Physicians", "ca-GrQc", "Wiki-Vote", "com-Youtube", "soc-Pokec", "BA_s",
+// "BA_d"). Datasets other than Karate and the BA networks are deterministic
+// synthetic surrogates; see DESIGN.md.
+func LoadDataset(name string) (*Network, error) {
+	ds, err := data.Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := data.Load(ds, data.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// DatasetNames returns the names accepted by LoadDataset.
+func DatasetNames() []string {
+	names := data.Names()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = string(n)
+	}
+	return out
+}
+
+// GenerateBA generates a Barabási–Albert graph with n vertices and m
+// attachments per new vertex, assigning each edge a random direction; this is
+// how the paper builds BA_s (m=1) and BA_d (m=11).
+func GenerateBA(n, m int, seed uint64) (*Network, error) {
+	g, err := gen.BarabasiAlbert(n, m, rng.NewXoshiro(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// NewNetwork builds a network with n vertices from a list of directed edges
+// given as [from, to] pairs.
+func NewNetwork(n int, edges [][2]int) (*Network, error) {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1])); err != nil {
+			return nil, err
+		}
+	}
+	return &Network{g: b.Build()}, nil
+}
+
+// AssignProbabilities attaches influence probabilities to the network using
+// one of the paper's models: "uc0.1", "uc0.01", "iwc", "owc" or "tv"
+// (trivalency). The seed is only used by randomized models.
+func (n *Network) AssignProbabilities(model string, seed uint64) (*InfluenceNetwork, error) {
+	m, err := workload.ParseModel(model)
+	if err != nil {
+		return nil, err
+	}
+	ig, err := workload.Assign(n.g, m, rng.NewXoshiro(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &InfluenceNetwork{ig: ig}, nil
+}
+
+// AssignUniform attaches the same probability p to every edge.
+func (n *Network) AssignUniform(p float64) (*InfluenceNetwork, error) {
+	ig, err := graph.NewInfluenceGraph(n.g, func(_, _ graph.VertexID) float64 { return p })
+	if err != nil {
+		return nil, err
+	}
+	return &InfluenceNetwork{ig: ig}, nil
+}
+
+// Approach names one of the three algorithmic approaches.
+type Approach = string
+
+// The three approaches accepted by SelectSeeds and StudyDistribution.
+const (
+	Oneshot  Approach = "Oneshot"
+	Snapshot Approach = "Snapshot"
+	RIS      Approach = "RIS"
+)
+
+// Approaches returns the three approach names in the paper's order.
+func Approaches() []Approach { return []Approach{Oneshot, Snapshot, RIS} }
+
+// DiffusionModel names a network diffusion model for SeedOptions and
+// NewInfluenceOracleForModel: "IC" (Independent Cascade, the paper's model and
+// the default) or "LT" (Linear Threshold, provided as an extension — edge
+// probabilities are then interpreted as LT weights and must sum to at most 1
+// over each vertex's in-edges).
+type DiffusionModel = string
+
+// The supported diffusion models.
+const (
+	IC DiffusionModel = "IC"
+	LT DiffusionModel = "LT"
+)
+
+// SeedOptions configures seed selection.
+type SeedOptions struct {
+	// Approach is "Oneshot", "Snapshot" or "RIS".
+	Approach Approach
+	// SeedSize is the number of seeds k to select.
+	SeedSize int
+	// SampleNumber is β (Oneshot: simulations per estimate), τ (Snapshot:
+	// live-edge graphs) or θ (RIS: reverse-reachable sets).
+	SampleNumber int
+	// Seed drives all randomness of the run; equal seeds reproduce the run.
+	Seed uint64
+	// Lazy selects CELF lazy greedy instead of the exhaustive greedy scan.
+	Lazy bool
+	// Model is the diffusion model; empty means IC.
+	Model DiffusionModel
+}
+
+func parseModel(m DiffusionModel) (diffusion.Model, error) {
+	if m == "" {
+		return diffusion.IC, nil
+	}
+	return diffusion.ParseModel(string(m))
+}
+
+// Cost reports the work a seed selection performed, in the paper's
+// implementation-independent units.
+type Cost struct {
+	// VerticesExamined and EdgesExamined are the traversal cost
+	// (proportional to running time).
+	VerticesExamined int64
+	EdgesExamined    int64
+	// SampleVertices and SampleEdges are the sample size stored in memory
+	// (proportional to memory usage).
+	SampleVertices int64
+	SampleEdges    int64
+}
+
+// SeedResult is the outcome of SelectSeeds.
+type SeedResult struct {
+	// Seeds is the selected seed set in selection order.
+	Seeds []int
+	// Cost is the traversal cost and sample size of the run.
+	Cost Cost
+}
+
+var errNilNetwork = errors.New("imdist: nil influence network")
+
+// SelectSeeds runs the chosen approach inside the paper's greedy framework
+// and returns the selected seed set.
+func (n *InfluenceNetwork) SelectSeeds(opt SeedOptions) (*SeedResult, error) {
+	if n == nil || n.ig == nil {
+		return nil, errNilNetwork
+	}
+	a, err := estimator.ParseApproach(string(opt.Approach))
+	if err != nil {
+		return nil, err
+	}
+	model, err := parseModel(opt.Model)
+	if err != nil {
+		return nil, err
+	}
+	est, err := estimator.New(a, estimator.Config{
+		Graph:        n.ig,
+		SampleNumber: opt.SampleNumber,
+		Source:       rng.Split(rng.Xoshiro, opt.Seed, 1),
+		Model:        model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var seeds []graph.VertexID
+	shuffle := rng.Split(rng.Xoshiro, opt.Seed, 2)
+	if opt.Lazy {
+		seeds, err = greedy.RunLazy(est, n.ig.NumVertices(), opt.SeedSize, shuffle)
+	} else {
+		seeds, err = greedy.Run(est, n.ig.NumVertices(), opt.SeedSize, shuffle)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := est.Cost()
+	return &SeedResult{
+		Seeds: toInts(seeds),
+		Cost: Cost{
+			VerticesExamined: c.VerticesExamined,
+			EdgesExamined:    c.EdgesExamined,
+			SampleVertices:   c.SampleVertices,
+			SampleEdges:      c.SampleEdges,
+		},
+	}, nil
+}
+
+// InfluenceOracle estimates the influence spread of arbitrary seed sets from
+// a fixed pool of reverse-reachable sets, following Section 5.2 of the paper:
+// build it once per influence network and reuse it so identical seed sets
+// always receive identical estimates.
+type InfluenceOracle struct {
+	o *core.Oracle
+}
+
+// NewInfluenceOracle builds an IC oracle backed by rrSets reverse-reachable
+// sets. The paper uses 10^7; 10^5–10^6 is usually enough for small networks.
+func (n *InfluenceNetwork) NewInfluenceOracle(rrSets int, seed uint64) (*InfluenceOracle, error) {
+	return n.NewInfluenceOracleForModel(IC, rrSets, seed)
+}
+
+// NewInfluenceOracleForModel builds an influence oracle under the given
+// diffusion model ("IC" or "LT").
+func (n *InfluenceNetwork) NewInfluenceOracleForModel(model DiffusionModel, rrSets int, seed uint64) (*InfluenceOracle, error) {
+	if n == nil || n.ig == nil {
+		return nil, errNilNetwork
+	}
+	m, err := parseModel(model)
+	if err != nil {
+		return nil, err
+	}
+	o, err := core.NewOracleForModel(n.ig, m, rrSets, rng.NewXoshiro(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &InfluenceOracle{o: o}, nil
+}
+
+// Influence returns the oracle estimate of the influence spread of seeds.
+func (o *InfluenceOracle) Influence(seeds []int) float64 {
+	return o.o.Influence(toVertexIDs(seeds))
+}
+
+// GreedySeeds returns the greedy maximum-coverage solution computed directly
+// on the oracle's RR sets; it is the reference ("Exact Greedy") solution the
+// three approaches converge to as their sample number grows.
+func (o *InfluenceOracle) GreedySeeds(k int) []int { return toInts(o.o.GreedySeeds(k)) }
+
+// TopVertices returns the topK vertices ranked by single-vertex influence
+// together with their influence estimates.
+func (o *InfluenceOracle) TopVertices(topK int) ([]int, []float64) {
+	vs, infs := o.o.TopSingleVertices(topK)
+	return toInts(vs), infs
+}
+
+// ConfidenceHalfWidth99 returns the half-width of the 99% confidence interval
+// of the oracle's influence estimates.
+func (o *InfluenceOracle) ConfidenceHalfWidth99() float64 { return o.o.ConfidenceHalfWidth(2.576) }
+
+// StudyOptions configures a solution-distribution study (the paper's core
+// methodology): run one approach T times at a fixed sample number and look at
+// the distribution of the random seed sets and their influences.
+type StudyOptions struct {
+	Approach     Approach
+	SeedSize     int
+	SampleNumber int
+	Trials       int
+	Seed         uint64
+	// Oracle evaluates every produced seed set; it must come from the same
+	// influence network.
+	Oracle *InfluenceOracle
+}
+
+// StudyResult summarizes the empirical solution distribution.
+type StudyResult struct {
+	// Entropy is the Shannon entropy (bits) of the seed-set distribution;
+	// 0 means every trial returned the same seed set.
+	Entropy float64
+	// DistinctSeedSets is the number of different seed sets observed.
+	DistinctSeedSets int
+	// ModalSeeds is the most frequent seed set and ModalCount its frequency.
+	ModalSeeds []int
+	ModalCount int
+	// MeanInfluence, StdDevInfluence, Percentile1, Median and Percentile99
+	// summarize the influence distribution.
+	MeanInfluence   float64
+	StdDevInfluence float64
+	Percentile1     float64
+	Median          float64
+	Percentile99    float64
+	// MeanTraversalCost and MeanSampleSize are per-trial averages of the
+	// paper's efficiency metrics.
+	MeanTraversalCost float64
+	MeanSampleSize    float64
+	// Influences lists the per-trial oracle influences in trial order.
+	Influences []float64
+}
+
+// StudyDistribution runs opt.Trials independent seed selections and returns
+// the empirical distribution summary.
+func (n *InfluenceNetwork) StudyDistribution(opt StudyOptions) (*StudyResult, error) {
+	if n == nil || n.ig == nil {
+		return nil, errNilNetwork
+	}
+	if opt.Oracle == nil {
+		return nil, errors.New("imdist: StudyDistribution requires an oracle (see NewInfluenceOracle)")
+	}
+	a, err := estimator.ParseApproach(string(opt.Approach))
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.RunDistribution(core.RunConfig{
+		Graph:        n.ig,
+		Approach:     a,
+		SampleNumber: opt.SampleNumber,
+		SeedSize:     opt.SeedSize,
+		Trials:       opt.Trials,
+		MasterSeed:   opt.Seed,
+		Oracle:       opt.Oracle.o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	modal, count := d.ModalSeedSet()
+	box := d.BoxPlot()
+	mc := d.MeanCost()
+	return &StudyResult{
+		Entropy:           d.Entropy(),
+		DistinctSeedSets:  d.DistinctSeedSets(),
+		ModalSeeds:        toInts(modal),
+		ModalCount:        count,
+		MeanInfluence:     box.Mean,
+		StdDevInfluence:   box.StdDev,
+		Percentile1:       box.Percentile1,
+		Median:            box.Median,
+		Percentile99:      box.Percentile99,
+		MeanTraversalCost: mc.Traversal(),
+		MeanSampleSize:    mc.SampleSize(),
+		Influences:        d.Influences(),
+	}, nil
+}
+
+// SimulateInfluence estimates Inf(seeds) with plain forward Monte-Carlo
+// simulation (the Oneshot estimator applied once), which is useful as an
+// oracle-free spot check.
+func (n *InfluenceNetwork) SimulateInfluence(seeds []int, simulations int, seed uint64) (float64, error) {
+	if n == nil || n.ig == nil {
+		return 0, errNilNetwork
+	}
+	if simulations < 1 {
+		return 0, fmt.Errorf("imdist: simulations must be >= 1, got %d", simulations)
+	}
+	est, err := estimator.New(estimator.Oneshot, estimator.Config{
+		Graph:        n.ig,
+		SampleNumber: simulations,
+		Source:       rng.NewXoshiro(seed),
+	})
+	if err != nil {
+		return 0, err
+	}
+	ids := toVertexIDs(seeds)
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	// Estimate(v) evaluates Inf(S + v); commit all but the last seed first.
+	for _, v := range ids[:len(ids)-1] {
+		est.Update(v)
+	}
+	return est.Estimate(ids[len(ids)-1]), nil
+}
+
+func toInts(vs []graph.VertexID) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func toVertexIDs(vs []int) []graph.VertexID {
+	out := make([]graph.VertexID, len(vs))
+	for i, v := range vs {
+		out[i] = graph.VertexID(v)
+	}
+	return out
+}

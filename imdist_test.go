@@ -1,0 +1,312 @@
+package imdist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func karateUC(t testing.TB) *InfluenceNetwork {
+	t.Helper()
+	n, err := LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := n.AssignProbabilities("uc0.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+func TestLoadDatasetAndStats(t *testing.T) {
+	n, err := LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Vertices != 34 || s.Edges != 156 {
+		t.Errorf("Karate stats = %+v", s)
+	}
+	if s.MaxOutDegree != 17 || s.MaxInDegree != 17 {
+		t.Errorf("Karate max degrees = %d/%d", s.MaxOutDegree, s.MaxInDegree)
+	}
+	if _, err := LoadDataset("not-a-dataset"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if len(DatasetNames()) != 8 {
+		t.Errorf("DatasetNames = %v", DatasetNames())
+	}
+}
+
+func TestNewNetworkAndEdgeListRoundTrip(t *testing.T) {
+	n, err := NewNetwork(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumVertices() != 3 || n.NumEdges() != 2 {
+		t.Errorf("network size = %d,%d", n.NumVertices(), n.NumEdges())
+	}
+	var buf bytes.Buffer
+	if err := n.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeList(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 2 {
+		t.Errorf("round trip lost edges: %d", back.NumEdges())
+	}
+	if _, err := NewNetwork(2, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestGenerateBA(t *testing.T) {
+	n, err := GenerateBA(1000, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumVertices() != 1000 || n.NumEdges() != 999 {
+		t.Errorf("BA_s size = %d,%d", n.NumVertices(), n.NumEdges())
+	}
+	if _, err := GenerateBA(10, 0, 7); err == nil {
+		t.Error("invalid BA parameters accepted")
+	}
+}
+
+func TestAssignProbabilities(t *testing.T) {
+	n, err := LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := n.AssignProbabilities("iwc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iwc: m̃ equals the number of vertices with in-edges (34 on Karate).
+	if math.Abs(ig.SumProbabilities()-34) > 1e-9 {
+		t.Errorf("iwc m~ = %v, want 34", ig.SumProbabilities())
+	}
+	if _, err := n.AssignProbabilities("bogus", 0); err == nil {
+		t.Error("unknown model accepted")
+	}
+	uni, err := n.AssignUniform(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(uni.SumProbabilities()-78) > 1e-9 {
+		t.Errorf("uniform 0.5 m~ = %v, want 78", uni.SumProbabilities())
+	}
+	if _, err := n.AssignUniform(0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if ig.NumVertices() != 34 || ig.NumEdges() != 156 {
+		t.Errorf("influence network size = %d,%d", ig.NumVertices(), ig.NumEdges())
+	}
+}
+
+func TestSelectSeedsAllApproaches(t *testing.T) {
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracle(50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := oracle.Influence(oracle.GreedySeeds(2))
+	for _, a := range Approaches() {
+		sampleNumber := 512
+		if a == RIS {
+			sampleNumber = 8192
+		}
+		res, err := ig.SelectSeeds(SeedOptions{
+			Approach: a, SeedSize: 2, SampleNumber: sampleNumber, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if len(res.Seeds) != 2 {
+			t.Fatalf("%s returned %v", a, res.Seeds)
+		}
+		inf := oracle.Influence(res.Seeds)
+		if inf < 0.9*reference {
+			t.Errorf("%s seeds %v have influence %v, reference %v", a, res.Seeds, inf, reference)
+		}
+		if res.Cost.VerticesExamined <= 0 {
+			t.Errorf("%s reported no traversal cost", a)
+		}
+	}
+}
+
+func TestSelectSeedsValidation(t *testing.T) {
+	ig := karateUC(t)
+	if _, err := ig.SelectSeeds(SeedOptions{Approach: "bogus", SeedSize: 1, SampleNumber: 1}); err == nil {
+		t.Error("unknown approach accepted")
+	}
+	if _, err := ig.SelectSeeds(SeedOptions{Approach: RIS, SeedSize: 0, SampleNumber: 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ig.SelectSeeds(SeedOptions{Approach: RIS, SeedSize: 1, SampleNumber: 0}); err == nil {
+		t.Error("sample number 0 accepted")
+	}
+	var nilNet *InfluenceNetwork
+	if _, err := nilNet.SelectSeeds(SeedOptions{Approach: RIS, SeedSize: 1, SampleNumber: 1}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestSelectSeedsLazyAgreesWithEager(t *testing.T) {
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracle(50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := ig.SelectSeeds(SeedOptions{Approach: Snapshot, SeedSize: 3, SampleNumber: 256, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := ig.SelectSeeds(SeedOptions{Approach: Snapshot, SeedSize: 3, SampleNumber: 256, Seed: 9, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oracle.Influence(eager.Seeds)-oracle.Influence(lazy.Seeds)) > 1.0 {
+		t.Errorf("lazy and eager seed quality differ: %v vs %v", eager.Seeds, lazy.Seeds)
+	}
+}
+
+func TestInfluenceOracle(t *testing.T) {
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracle(100000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := oracle.Influence([]int{0})
+	if single < 1 || single > 34 {
+		t.Errorf("oracle influence of vertex 0 = %v", single)
+	}
+	pair := oracle.Influence([]int{0, 33})
+	if pair < single {
+		t.Errorf("adding a seed decreased oracle influence: %v -> %v", single, pair)
+	}
+	vs, infs := oracle.TopVertices(3)
+	if len(vs) != 3 || infs[0] < infs[2] {
+		t.Errorf("TopVertices = %v %v", vs, infs)
+	}
+	if oracle.ConfidenceHalfWidth99() <= 0 {
+		t.Error("confidence half width should be positive")
+	}
+	if _, err := ig.NewInfluenceOracle(0, 1); err == nil {
+		t.Error("zero RR sets accepted")
+	}
+	var nilNet *InfluenceNetwork
+	if _, err := nilNet.NewInfluenceOracle(10, 1); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestStudyDistribution(t *testing.T) {
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracle(20000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ig.StudyDistribution(StudyOptions{
+		Approach: Snapshot, SeedSize: 1, SampleNumber: 4096, Trials: 30, Seed: 21, Oracle: oracle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finding 1: at a large sample number the distribution is (nearly)
+	// degenerate — Karate uc0.1 has two near-tied top vertices, so allow at
+	// most a rare flip.
+	if res.Entropy > 0.5 || res.DistinctSeedSets > 2 || res.ModalCount < 27 {
+		t.Errorf("converged study = %+v", res)
+	}
+	if len(res.Influences) != 30 {
+		t.Errorf("influences recorded = %d", len(res.Influences))
+	}
+	if res.MeanInfluence <= 0 || res.MeanTraversalCost <= 0 || res.MeanSampleSize <= 0 {
+		t.Errorf("study metrics = %+v", res)
+	}
+	// Tiny sample number -> diverse solutions.
+	noisy, err := ig.StudyDistribution(StudyOptions{
+		Approach: Oneshot, SeedSize: 1, SampleNumber: 1, Trials: 30, Seed: 23, Oracle: oracle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Entropy <= res.Entropy {
+		t.Errorf("entropy at sample number 1 (%v) should exceed entropy at 256 (%v)", noisy.Entropy, res.Entropy)
+	}
+	// Validation paths.
+	if _, err := ig.StudyDistribution(StudyOptions{Approach: Snapshot, SeedSize: 1, SampleNumber: 1, Trials: 1}); err == nil {
+		t.Error("missing oracle accepted")
+	}
+	if _, err := ig.StudyDistribution(StudyOptions{Approach: "bogus", SeedSize: 1, SampleNumber: 1, Trials: 1, Oracle: oracle}); err == nil {
+		t.Error("unknown approach accepted")
+	}
+	var nilNet *InfluenceNetwork
+	if _, err := nilNet.StudyDistribution(StudyOptions{}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestSimulateInfluence(t *testing.T) {
+	// Star 0 -> {1,2,3,4} with p = 0.5: Inf({0}) = 3.
+	n, err := NewNetwork(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := n.AssignUniform(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ig.SimulateInfluence([]int{0}, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 0.1 {
+		t.Errorf("SimulateInfluence = %v, want approx 3", got)
+	}
+	if _, err := ig.SimulateInfluence([]int{0}, 0, 1); err == nil {
+		t.Error("zero simulations accepted")
+	}
+	zero, err := ig.SimulateInfluence(nil, 10, 1)
+	if err != nil || zero != 0 {
+		t.Errorf("empty seed simulation = %v, %v", zero, err)
+	}
+	var nilNet *InfluenceNetwork
+	if _, err := nilNet.SimulateInfluence([]int{0}, 1, 1); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestThreeApproachesConvergeToSameSolution(t *testing.T) {
+	// The paper's Finding 1 exercised through the public API: at large sample
+	// numbers the three approaches return the same seed set on Karate uc0.1.
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracle(50000, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []int
+	for _, a := range Approaches() {
+		sampleNumber := 2048
+		if a == RIS {
+			sampleNumber = 65536
+		}
+		res, err := ig.SelectSeeds(SeedOptions{Approach: a, SeedSize: 1, SampleNumber: sampleNumber, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res.Seeds
+			continue
+		}
+		if res.Seeds[0] != first[0] {
+			t.Errorf("%s selected %v, earlier approach selected %v (oracle says %v is greedy)",
+				a, res.Seeds, first, oracle.GreedySeeds(1))
+		}
+	}
+}

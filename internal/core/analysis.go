@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"imdist/internal/stats"
+)
+
+// NearOptimalCriterion defines Table 5's success criterion: a trial is
+// near-optimal when its influence is at least Fraction times the reference
+// (Exact Greedy) influence, and a sample number suffices when at least
+// Probability of its trials are near-optimal.
+type NearOptimalCriterion struct {
+	// Fraction is the near-optimality threshold relative to the reference
+	// influence; the paper uses 0.95.
+	Fraction float64
+	// Probability is the required success probability over trials; the paper
+	// uses 0.99.
+	Probability float64
+}
+
+// DefaultNearOptimal returns the paper's criterion (0.95, 99%).
+func DefaultNearOptimal() NearOptimalCriterion {
+	return NearOptimalCriterion{Fraction: 0.95, Probability: 0.99}
+}
+
+// LeastSampleResult is one row cell of Table 5: the least swept sample number
+// meeting the criterion and the entropy of the seed-set distribution at that
+// sample number.
+type LeastSampleResult struct {
+	// Found is false when no swept sample number met the criterion (the paper
+	// prints "> 2^20" in such cases).
+	Found bool
+	// SampleNumber is the least sufficient sample number (valid when Found).
+	SampleNumber int
+	// Log2 is log2(SampleNumber), the form Table 5 reports.
+	Log2 float64
+	// Entropy is the seed-set entropy H* at that sample number.
+	Entropy float64
+}
+
+// ErrNoDistributions reports an analysis call with no input distributions.
+var ErrNoDistributions = errors.New("core: no distributions")
+
+// LeastSampleNumber scans the swept distributions (in increasing sample
+// number order) and returns the first whose trials meet the near-optimality
+// criterion against the reference influence.
+func LeastSampleNumber(sweep []*Distribution, referenceInfluence float64, crit NearOptimalCriterion) (LeastSampleResult, error) {
+	if len(sweep) == 0 {
+		return LeastSampleResult{}, ErrNoDistributions
+	}
+	threshold := crit.Fraction * referenceInfluence
+	for _, d := range sweep {
+		if d.QuantileFraction(threshold) >= crit.Probability {
+			return LeastSampleResult{
+				Found:        true,
+				SampleNumber: d.SampleNumber,
+				Log2:         math.Log2(float64(d.SampleNumber)),
+				Entropy:      d.Entropy(),
+			}, nil
+		}
+	}
+	return LeastSampleResult{Found: false}, nil
+}
+
+// EntropyPoint is one point of the entropy-decay curves of Figures 1–3.
+type EntropyPoint struct {
+	SampleNumber int
+	Entropy      float64
+	Distinct     int
+}
+
+// EntropyCurve extracts the entropy of each swept distribution.
+func EntropyCurve(sweep []*Distribution) []EntropyPoint {
+	out := make([]EntropyPoint, len(sweep))
+	for i, d := range sweep {
+		out[i] = EntropyPoint{SampleNumber: d.SampleNumber, Entropy: d.Entropy(), Distinct: d.DistinctSeedSets()}
+	}
+	return out
+}
+
+// InfluencePoint is one point of the influence-distribution curves of
+// Figures 4–6: the box-plot summary of I(s) at one sample number.
+type InfluencePoint struct {
+	SampleNumber int
+	Box          stats.BoxPlot
+	MeanCost     MeanCost
+}
+
+// InfluenceCurve extracts the influence box plots of each swept distribution.
+func InfluenceCurve(sweep []*Distribution) []InfluencePoint {
+	out := make([]InfluencePoint, len(sweep))
+	for i, d := range sweep {
+		out[i] = InfluencePoint{SampleNumber: d.SampleNumber, Box: d.BoxPlot(), MeanCost: d.MeanCost()}
+	}
+	return out
+}
+
+// ComparablePoint relates one sample number of the reference approach (alg1)
+// to the least sample number of the compared approach (alg2) achieving at
+// least the same mean influence (Section 5.2.3's definitions).
+type ComparablePoint struct {
+	// ReferenceSample is s1, the reference approach's sample number.
+	ReferenceSample int
+	// ComparableSample is s2, the least swept sample number of the compared
+	// approach whose mean influence is >= the reference's; 0 when none
+	// qualifies within the sweep.
+	ComparableSample int
+	// Found reports whether a comparable sample number exists in the sweep.
+	Found bool
+	// NumberRatio is s2/s1.
+	NumberRatio float64
+	// SizeRatio is (mean sample size of alg2 at s2)/(mean sample size of
+	// alg1 at s1); NaN when the reference stores no samples (Oneshot).
+	SizeRatio float64
+	// ReferenceMean and ComparableMean are the mean influences at s1 and s2.
+	ReferenceMean  float64
+	ComparableMean float64
+}
+
+// ComparableRatios computes, for every reference distribution, the comparable
+// sample number of the compared sweep: the least s2 whose mean influence is at
+// least the reference mean at s1. Both sweeps must be sorted by increasing
+// sample number (as returned by Sweep).
+func ComparableRatios(reference, compared []*Distribution) ([]ComparablePoint, error) {
+	if len(reference) == 0 || len(compared) == 0 {
+		return nil, ErrNoDistributions
+	}
+	out := make([]ComparablePoint, 0, len(reference))
+	for _, ref := range reference {
+		p := ComparablePoint{
+			ReferenceSample: ref.SampleNumber,
+			ReferenceMean:   ref.MeanInfluence(),
+		}
+		refSize := ref.MeanCost().SampleSize()
+		for _, cmp := range compared {
+			if cmp.MeanInfluence() >= p.ReferenceMean {
+				p.Found = true
+				p.ComparableSample = cmp.SampleNumber
+				p.ComparableMean = cmp.MeanInfluence()
+				p.NumberRatio = float64(cmp.SampleNumber) / float64(ref.SampleNumber)
+				if refSize > 0 {
+					p.SizeRatio = cmp.MeanCost().SampleSize() / refSize
+				} else {
+					p.SizeRatio = math.NaN()
+				}
+				break
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MedianNumberRatio returns the median of the number ratios over the points
+// where a comparable sample number was found (the statistic Tables 6 and 7
+// report). The boolean is false when no point qualified.
+func MedianNumberRatio(points []ComparablePoint) (float64, bool) {
+	var ratios []float64
+	for _, p := range points {
+		if p.Found {
+			ratios = append(ratios, p.NumberRatio)
+		}
+	}
+	if len(ratios) == 0 {
+		return 0, false
+	}
+	return stats.Median(ratios), true
+}
+
+// MedianSizeRatio returns the median of the size ratios over the points where
+// both a comparable sample number and a well-defined size ratio exist.
+func MedianSizeRatio(points []ComparablePoint) (float64, bool) {
+	var ratios []float64
+	for _, p := range points {
+		if p.Found && !math.IsNaN(p.SizeRatio) {
+			ratios = append(ratios, p.SizeRatio)
+		}
+	}
+	if len(ratios) == 0 {
+		return 0, false
+	}
+	return stats.Median(ratios), true
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"imdist/internal/diffusion"
+	"imdist/internal/estimator"
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+	"imdist/internal/workload"
+)
+
+func TestOracleForModelLT(t *testing.T) {
+	ig := karateIWC(t)
+	o, err := NewOracleForModel(ig, diffusion.LT, 20000, rng.NewXoshiro(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := o.Influence([]graph.VertexID{0})
+	if inf < 1 || inf > float64(ig.NumVertices()) {
+		t.Errorf("LT oracle influence of vertex 0 = %v out of range", inf)
+	}
+	seeds := o.GreedySeeds(2)
+	if len(seeds) != 2 || seeds[0] == seeds[1] {
+		t.Errorf("LT oracle greedy seeds = %v", seeds)
+	}
+}
+
+func TestOracleForModelLTRejectsInvalidWeights(t *testing.T) {
+	// uc0.1 on Karate has a vertex with in-degree 17, so LT weights sum to
+	// 1.7 and must be rejected.
+	ig, err := workload.Assign(karateIWC(t).Graph, workload.UC01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOracleForModel(ig, diffusion.LT, 100, rng.NewXoshiro(1)); !errors.Is(err, diffusion.ErrInvalidLTWeights) {
+		t.Errorf("invalid LT weights err = %v", err)
+	}
+}
+
+func TestRunDistributionLTModel(t *testing.T) {
+	ig := karateIWC(t)
+	o, err := NewOracleForModel(ig, diffusion.LT, 10000, rng.NewXoshiro(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RunDistribution(RunConfig{
+		Graph:        ig,
+		Approach:     estimator.Snapshot,
+		SampleNumber: 64,
+		SeedSize:     2,
+		Trials:       20,
+		MasterSeed:   9,
+		Oracle:       o,
+		Model:        diffusion.LT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanInfluence() <= 2 {
+		t.Errorf("LT mean influence = %v, expected more than the seed count", d.MeanInfluence())
+	}
+	if d.Entropy() < 0 || d.Entropy() > 10 {
+		t.Errorf("LT entropy = %v", d.Entropy())
+	}
+}

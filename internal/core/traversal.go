@@ -1,0 +1,85 @@
+package core
+
+import (
+	"imdist/internal/estimator"
+)
+
+// TraversalRow is one (approach) cell of Table 8: the average vertex and edge
+// traversal cost of running the greedy framework at k = 1 with sample number
+// 1, averaged over trials.
+type TraversalRow struct {
+	Approach         estimator.Approach
+	VerticesExamined float64
+	EdgesExamined    float64
+	SampleVertices   float64
+	SampleEdges      float64
+}
+
+// TraversalCost measures the per-sample traversal cost of the given approach
+// on cfg.Graph: it runs cfg.Trials greedy selections with k = 1 and sample
+// number 1 (overriding whatever cfg carries) and averages the counters. This
+// reproduces Table 8's protocol exactly.
+func TraversalCost(cfg RunConfig, approach estimator.Approach) (TraversalRow, error) {
+	cfg.Approach = approach
+	cfg.SampleNumber = 1
+	cfg.SeedSize = 1
+	d, err := RunDistribution(cfg)
+	if err != nil {
+		return TraversalRow{}, err
+	}
+	mc := d.MeanCost()
+	return TraversalRow{
+		Approach:         approach,
+		VerticesExamined: mc.VerticesExamined,
+		EdgesExamined:    mc.EdgesExamined,
+		SampleVertices:   mc.SampleVertices,
+		SampleEdges:      mc.SampleEdges,
+	}, nil
+}
+
+// IdenticalAccuracyRow is one cell of Table 9: the traversal cost per unit γ
+// when the three approaches are conditioned to have identical accuracy by
+// setting β = cr1·γ, τ = γ, θ = cr2·γ, where cr1 and cr2 are the comparable
+// number ratios of Oneshot and RIS to Snapshot.
+type IdenticalAccuracyRow struct {
+	Approach estimator.Approach
+	// CostPerGamma is the expected traversal cost divided by γ: the
+	// comparable number ratio times the per-sample traversal cost.
+	CostPerGamma float64
+	// Ratio is the comparable number ratio used (1 for Snapshot).
+	Ratio float64
+}
+
+// IdenticalAccuracyCosts combines per-sample traversal costs (Table 8) with
+// comparable number ratios (Tables 6 and 7) into Table 9's per-γ costs.
+// oneshotRatio is the Oneshot:Snapshot comparable number ratio; risRatio is
+// the RIS:Snapshot ratio. A negative ratio marks the approach as unavailable
+// (e.g. Oneshot skipped on the web-scale graphs) and omits its row.
+func IdenticalAccuracyCosts(rows []TraversalRow, oneshotRatio, risRatio float64) []IdenticalAccuracyRow {
+	ratioFor := func(a estimator.Approach) float64 {
+		switch a {
+		case estimator.Oneshot:
+			return oneshotRatio
+		case estimator.Snapshot:
+			return 1
+		case estimator.RIS:
+			return risRatio
+		default:
+			return -1
+		}
+	}
+	var out []IdenticalAccuracyRow
+	for _, r := range rows {
+		ratio := ratioFor(r.Approach)
+		if ratio < 0 {
+			continue
+		}
+		perSample := r.VerticesExamined + r.EdgesExamined
+		out = append(out, IdenticalAccuracyRow{
+			Approach:     r.Approach,
+			CostPerGamma: ratio * perSample,
+			Ratio:        ratio,
+		})
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+// Package coverage implements greedy maximum coverage over collections of
+// sets. The RIS approach reduces influence maximization to stochastic maximum
+// coverage over reverse-reachable sets (Section 3.5); this package provides
+// that reduction's solver in a reusable form, with both the plain greedy and
+// a lazy (CELF-style) variant.
+package coverage
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidInput reports inconsistent problem parameters.
+var ErrInvalidInput = errors.New("coverage: invalid input")
+
+// Problem is a maximum coverage instance: a universe of Elements identified
+// by 0..NumElements-1, and NumSets candidate sets identified by 0..NumSets-1.
+// Membership is given from the element side: MemberOf[e] lists the sets that
+// contain element e, without duplicates. This orientation matches the RIS
+// data layout, where an element is an RR set and a "set" is a vertex covering
+// all RR sets it belongs to.
+type Problem struct {
+	NumElements int
+	NumSets     int
+	MemberOf    [][]int32
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if p.NumElements < 0 || p.NumSets < 0 {
+		return fmt.Errorf("%w: negative sizes", ErrInvalidInput)
+	}
+	if len(p.MemberOf) != p.NumElements {
+		return fmt.Errorf("%w: MemberOf has %d rows, want %d", ErrInvalidInput, len(p.MemberOf), p.NumElements)
+	}
+	for e, sets := range p.MemberOf {
+		for i, s := range sets {
+			if s < 0 || int(s) >= p.NumSets {
+				return fmt.Errorf("%w: element %d references set %d of %d", ErrInvalidInput, e, s, p.NumSets)
+			}
+			for _, prev := range sets[:i] {
+				if prev == s {
+					return fmt.Errorf("%w: element %d lists set %d twice", ErrInvalidInput, e, s)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a greedy coverage run.
+type Result struct {
+	// Chosen lists the selected set ids in selection order.
+	Chosen []int32
+	// Covered is the number of elements covered by the chosen sets.
+	Covered int
+	// Gains[i] is the marginal number of elements newly covered by Chosen[i].
+	Gains []int
+}
+
+// Greedy selects k sets by repeatedly taking the set with the largest
+// marginal coverage (the classic (1−1/e)-approximation). Ties are broken
+// toward the smaller set id for determinism.
+func Greedy(p *Problem, k int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 0 || k > p.NumSets {
+		return nil, fmt.Errorf("%w: k=%d with %d sets", ErrInvalidInput, k, p.NumSets)
+	}
+	// setElements is the inverse view: the elements of each set.
+	setElements := invert(p)
+	covered := make([]bool, p.NumElements)
+	gain := make([]int, p.NumSets)
+	for s := range gain {
+		gain[s] = len(setElements[s])
+	}
+	chosen := make([]int32, 0, k)
+	gains := make([]int, 0, k)
+	totalCovered := 0
+	used := make([]bool, p.NumSets)
+	for len(chosen) < k {
+		best, bestGain := -1, -1
+		for s := 0; s < p.NumSets; s++ {
+			if used[s] {
+				continue
+			}
+			if gain[s] > bestGain {
+				best, bestGain = s, gain[s]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		newlyCovered := 0
+		for _, e := range setElements[best] {
+			if covered[e] {
+				continue
+			}
+			covered[e] = true
+			newlyCovered++
+			// Every other set containing e loses one unit of marginal gain.
+			for _, s := range p.MemberOf[e] {
+				gain[s]--
+			}
+		}
+		chosen = append(chosen, int32(best))
+		gains = append(gains, newlyCovered)
+		totalCovered += newlyCovered
+	}
+	return &Result{Chosen: chosen, Covered: totalCovered, Gains: gains}, nil
+}
+
+// GreedyLazy is the lazy-evaluation variant of Greedy: marginal gains are
+// kept in a max-heap and re-evaluated only when stale, which is equivalent in
+// output (up to ties) because coverage gain is submodular.
+func GreedyLazy(p *Problem, k int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 0 || k > p.NumSets {
+		return nil, fmt.Errorf("%w: k=%d with %d sets", ErrInvalidInput, k, p.NumSets)
+	}
+	setElements := invert(p)
+	covered := make([]bool, p.NumElements)
+
+	pq := make(coverHeap, 0, p.NumSets)
+	for s := 0; s < p.NumSets; s++ {
+		pq = append(pq, coverEntry{set: int32(s), gain: len(setElements[s]), round: 0})
+	}
+	heap.Init(&pq)
+
+	chosen := make([]int32, 0, k)
+	gains := make([]int, 0, k)
+	totalCovered := 0
+	for len(chosen) < k && pq.Len() > 0 {
+		top := heap.Pop(&pq).(coverEntry)
+		if top.round != len(chosen) {
+			// Stale: recompute the true marginal gain and reinsert.
+			g := 0
+			for _, e := range setElements[top.set] {
+				if !covered[e] {
+					g++
+				}
+			}
+			heap.Push(&pq, coverEntry{set: top.set, gain: g, round: len(chosen)})
+			continue
+		}
+		for _, e := range setElements[top.set] {
+			if !covered[e] {
+				covered[e] = true
+				totalCovered++
+			}
+		}
+		chosen = append(chosen, top.set)
+		gains = append(gains, top.gain)
+	}
+	return &Result{Chosen: chosen, Covered: totalCovered, Gains: gains}, nil
+}
+
+// invert converts element->sets membership into set->elements lists.
+func invert(p *Problem) [][]int32 {
+	setElements := make([][]int32, p.NumSets)
+	for e, sets := range p.MemberOf {
+		for _, s := range sets {
+			setElements[s] = append(setElements[s], int32(e))
+		}
+	}
+	return setElements
+}
+
+// coverEntry is one candidate set in the lazy greedy priority queue.
+type coverEntry struct {
+	set   int32
+	gain  int
+	round int
+}
+
+// coverHeap is a max-heap on gain with smaller set id breaking ties.
+type coverHeap []coverEntry
+
+func (h coverHeap) Len() int { return len(h) }
+
+func (h coverHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].set < h[j].set
+}
+
+func (h coverHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *coverHeap) Push(x any) { *h = append(*h, x.(coverEntry)) }
+
+func (h *coverHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

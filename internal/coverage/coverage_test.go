@@ -1,0 +1,174 @@
+package coverage
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// problemFromSets builds a Problem from set->elements lists.
+func problemFromSets(numElements int, sets [][]int32) *Problem {
+	p := &Problem{NumElements: numElements, NumSets: len(sets), MemberOf: make([][]int32, numElements)}
+	for s, elems := range sets {
+		for _, e := range elems {
+			p.MemberOf[e] = append(p.MemberOf[e], int32(s))
+		}
+	}
+	return p
+}
+
+func TestGreedySimple(t *testing.T) {
+	// Sets: A={0,1,2}, B={2,3}, C={4}. Optimal 2 sets: A and B or A and C
+	// (both cover 4-5 elements); greedy picks A (gain 3) then B (gain 1) or C
+	// (gain 1) — B and C tie at 1; smaller id (B=1) wins.
+	p := problemFromSets(5, [][]int32{{0, 1, 2}, {2, 3}, {4}})
+	res, err := Greedy(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen[0] != 0 {
+		t.Errorf("first chosen = %d, want 0", res.Chosen[0])
+	}
+	if res.Covered != 4 {
+		t.Errorf("covered = %d, want 4", res.Covered)
+	}
+	if res.Gains[0] != 3 || res.Gains[1] != 1 {
+		t.Errorf("gains = %v, want [3 1]", res.Gains)
+	}
+}
+
+func TestGreedyCoversEverythingWhenKLargeEnough(t *testing.T) {
+	p := problemFromSets(6, [][]int32{{0, 1}, {2, 3}, {4, 5}})
+	res, err := Greedy(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered != 6 {
+		t.Errorf("covered = %d, want 6", res.Covered)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	p := problemFromSets(3, [][]int32{{0, 1}})
+	if _, err := Greedy(p, 5); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("k > NumSets err = %v", err)
+	}
+	bad := &Problem{NumElements: 2, NumSets: 1, MemberOf: [][]int32{{0}, {7}}}
+	if _, err := Greedy(bad, 1); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("invalid membership err = %v", err)
+	}
+	short := &Problem{NumElements: 3, NumSets: 1, MemberOf: [][]int32{{0}}}
+	if err := short.Validate(); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("short MemberOf err = %v", err)
+	}
+	neg := &Problem{NumElements: -1}
+	if err := neg.Validate(); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative size err = %v", err)
+	}
+}
+
+func TestGreedyZeroK(t *testing.T) {
+	p := problemFromSets(3, [][]int32{{0, 1, 2}})
+	res, err := Greedy(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chosen) != 0 || res.Covered != 0 {
+		t.Errorf("k=0 result = %+v", res)
+	}
+}
+
+func TestLazyMatchesEagerCoverage(t *testing.T) {
+	f := func(raw []uint16, numSetsRaw, numElemsRaw, kRaw uint8) bool {
+		numSets := int(numSetsRaw%10) + 1
+		numElems := int(numElemsRaw%30) + 1
+		k := int(kRaw)%numSets + 1
+		p := &Problem{NumElements: numElems, NumSets: numSets, MemberOf: make([][]int32, numElems)}
+		for _, r := range raw {
+			e := int(r>>8) % numElems
+			s := int32(int(r&0xff) % numSets)
+			dup := false
+			for _, existing := range p.MemberOf[e] {
+				if existing == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.MemberOf[e] = append(p.MemberOf[e], s)
+			}
+		}
+		eager, err := Greedy(p, k)
+		if err != nil {
+			return false
+		}
+		lazy, err := GreedyLazy(p, k)
+		if err != nil {
+			return false
+		}
+		// The greedy value (not necessarily the chosen sets) must match: both
+		// implement the same submodular greedy up to tie-breaking.
+		return eager.Covered == lazy.Covered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyGainsAreNonIncreasing(t *testing.T) {
+	f := func(raw []uint16) bool {
+		numSets, numElems := 8, 40
+		p := &Problem{NumElements: numElems, NumSets: numSets, MemberOf: make([][]int32, numElems)}
+		for _, r := range raw {
+			e := int(r>>8) % numElems
+			s := int32(int(r&0xff) % numSets)
+			dup := false
+			for _, existing := range p.MemberOf[e] {
+				if existing == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.MemberOf[e] = append(p.MemberOf[e], s)
+			}
+		}
+		res, err := Greedy(p, numSets)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Gains); i++ {
+			if res.Gains[i] > res.Gains[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyLazyValidation(t *testing.T) {
+	p := problemFromSets(3, [][]int32{{0}})
+	if _, err := GreedyLazy(p, 9); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("lazy k > NumSets err = %v", err)
+	}
+}
+
+func TestGreedyAchievesApproximationOnKnownInstance(t *testing.T) {
+	// Classic worst-case-ish instance: optimal 2 sets cover 8 elements;
+	// greedy must cover at least (1-1/e) of the optimum (~5.06).
+	p := problemFromSets(8, [][]int32{
+		{0, 1, 2, 3},    // A
+		{4, 5, 6, 7},    // B (A+B is optimal: 8)
+		{0, 1, 4, 5, 6}, // C (greedy bait: gain 5)
+	})
+	res, err := Greedy(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Covered) < (1-1/2.718281828)*8 {
+		t.Errorf("greedy covered %d, below the (1-1/e) bound", res.Covered)
+	}
+}

@@ -1,0 +1,42 @@
+// Package diffusion implements the Independent Cascade (IC) substrate the
+// three algorithmic approaches are built on: forward Monte-Carlo simulation
+// (Oneshot), live-edge snapshot sampling and reachability (Snapshot), and
+// reverse-reachable set generation (RIS). Every primitive accounts for its
+// traversal cost — the number of vertices and edges examined — because the
+// paper uses traversal cost, not wall-clock time, as its implementation-
+// independent efficiency metric (Section 3.2).
+package diffusion
+
+// Cost accumulates the work performed by diffusion primitives.
+//
+// VerticesExamined and EdgesExamined correspond to the paper's vertex and
+// edge traversal cost: how many times a vertex or edge was touched, counting
+// repetitions. SampleVertices and SampleEdges correspond to the paper's
+// sample size: how many vertices and edges are stored in memory as
+// approach-specific samples (live-edge graphs for Snapshot, RR sets for RIS;
+// Oneshot stores nothing).
+type Cost struct {
+	VerticesExamined int64
+	EdgesExamined    int64
+	SampleVertices   int64
+	SampleEdges      int64
+}
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	c.VerticesExamined += other.VerticesExamined
+	c.EdgesExamined += other.EdgesExamined
+	c.SampleVertices += other.SampleVertices
+	c.SampleEdges += other.SampleEdges
+}
+
+// Traversal returns the total traversal cost (vertices + edges examined),
+// the quantity Tables 8 and 9 aggregate.
+func (c Cost) Traversal() int64 { return c.VerticesExamined + c.EdgesExamined }
+
+// SampleSize returns the total sample size (vertices + edges stored), the
+// quantity Table 1 and Figure 8 call "sample size".
+func (c Cost) SampleSize() int64 { return c.SampleVertices + c.SampleEdges }
+
+// Reset zeroes all counters.
+func (c *Cost) Reset() { *c = Cost{} }

@@ -1,0 +1,278 @@
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+// ErrInvalidLTWeights reports in-edge weights summing to more than 1 for some
+// vertex, which the Linear Threshold model does not allow.
+var ErrInvalidLTWeights = errors.New("diffusion: LT in-edge weights exceed 1")
+
+// ltWeightTolerance absorbs floating-point rounding when in-edge weights are
+// constructed to sum to exactly 1 (the iwc workload).
+const ltWeightTolerance = 1e-9
+
+// ValidateLTWeights checks that the influence graph's edge probabilities are
+// valid Linear Threshold weights: for every vertex, the incoming weights sum
+// to at most 1.
+func ValidateLTWeights(ig *graph.InfluenceGraph) error {
+	for v := 0; v < ig.NumVertices(); v++ {
+		sum := 0.0
+		for _, w := range ig.InProbabilities(graph.VertexID(v)) {
+			sum += w
+		}
+		if sum > 1+ltWeightTolerance {
+			return fmt.Errorf("%w: vertex %d has incoming weight %v", ErrInvalidLTWeights, v, sum)
+		}
+	}
+	return nil
+}
+
+// LTSimulator runs forward Linear Threshold simulations: every vertex draws a
+// uniform threshold lazily on first contact and activates once the weight of
+// its active in-neighbours reaches the threshold. One LTSimulator must not be
+// shared between goroutines.
+type LTSimulator struct {
+	g *graph.InfluenceGraph
+
+	// epoch-tagged per-vertex state; valid when stamp[v] == epoch.
+	stamp     []uint32
+	epoch     uint32
+	threshold []float64
+	accum     []float64
+	active    []bool
+	queue     []graph.VertexID
+}
+
+// NewLTSimulator returns an LTSimulator for ig. It does not validate weights;
+// call ValidateLTWeights when the input is untrusted.
+func NewLTSimulator(ig *graph.InfluenceGraph) *LTSimulator {
+	n := ig.NumVertices()
+	return &LTSimulator{
+		g:         ig,
+		stamp:     make([]uint32, n),
+		threshold: make([]float64, n),
+		accum:     make([]float64, n),
+		active:    make([]bool, n),
+		queue:     make([]graph.VertexID, 0, 64),
+	}
+}
+
+func (s *LTSimulator) touch(v graph.VertexID, src rng.Source) {
+	if s.stamp[v] == s.epoch {
+		return
+	}
+	s.stamp[v] = s.epoch
+	s.threshold[v] = src.Float64()
+	s.accum[v] = 0
+	s.active[v] = false
+}
+
+// Run performs one LT simulation from the seed set and returns the number of
+// activated vertices. Traversal cost: one vertex examination per activated
+// vertex and one edge examination per outgoing edge scanned from an activated
+// vertex, mirroring the IC accounting.
+func (s *LTSimulator) Run(seeds []graph.VertexID, src rng.Source, cost *Cost) int {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	activated := 0
+	for _, v := range seeds {
+		s.touch(v, src)
+		if s.active[v] {
+			continue
+		}
+		s.active[v] = true
+		s.queue = append(s.queue, v)
+		activated++
+	}
+	var verticesExamined, edgesExamined int64
+	for head := 0; head < len(s.queue); head++ {
+		v := s.queue[head]
+		verticesExamined++
+		neighbors := s.g.OutNeighbors(v)
+		weights := s.g.OutProbabilities(v)
+		for i, w := range neighbors {
+			edgesExamined++
+			s.touch(w, src)
+			if s.active[w] {
+				continue
+			}
+			s.accum[w] += weights[i]
+			if s.accum[w] >= s.threshold[w] {
+				s.active[w] = true
+				s.queue = append(s.queue, w)
+				activated++
+			}
+		}
+	}
+	if cost != nil {
+		cost.VerticesExamined += verticesExamined
+		cost.EdgesExamined += edgesExamined
+	}
+	return activated
+}
+
+// EstimateInfluence runs count simulations from seeds and returns the average
+// activation count.
+func (s *LTSimulator) EstimateInfluence(seeds []graph.VertexID, count int, src rng.Source, cost *Cost) float64 {
+	if count <= 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < count; i++ {
+		total += s.Run(seeds, src, cost)
+	}
+	return float64(total) / float64(count)
+}
+
+// SampleLTSnapshot draws one live-edge graph under the Linear Threshold
+// model's random-graph characterization (Kempe et al.): every vertex keeps at
+// most one incoming edge, choosing in-edge (u, v) with probability w(u, v) and
+// no edge with the remaining probability. Reachability in such a graph is
+// distributed exactly as LT activation, so the Snapshot approach carries over
+// unchanged.
+func SampleLTSnapshot(ig *graph.InfluenceGraph, src rng.Source, cost *Cost) *Snapshot {
+	n := ig.NumVertices()
+	s := &Snapshot{
+		n:      n,
+		outIdx: make([]int32, n+1),
+	}
+	// chosen[v] is the selected in-neighbour of v, or -1.
+	chosen := make([]graph.VertexID, n)
+	liveCount := 0
+	for v := 0; v < n; v++ {
+		chosen[v] = -1
+		ins := ig.InNeighbors(graph.VertexID(v))
+		weights := ig.InProbabilities(graph.VertexID(v))
+		if len(ins) == 0 {
+			continue
+		}
+		x := src.Float64()
+		acc := 0.0
+		for i, u := range ins {
+			acc += weights[i]
+			if x < acc {
+				chosen[v] = u
+				liveCount++
+				break
+			}
+		}
+	}
+	// Convert the chosen in-edges into forward CSR.
+	counts := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		if chosen[v] >= 0 {
+			counts[chosen[v]+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	s.outIdx = counts
+	s.outAdj = make([]graph.VertexID, liveCount)
+	cursor := make([]int32, n)
+	for v := 0; v < n; v++ {
+		u := chosen[v]
+		if u < 0 {
+			continue
+		}
+		s.outAdj[s.outIdx[u]+cursor[u]] = graph.VertexID(v)
+		cursor[u]++
+	}
+	if cost != nil {
+		cost.SampleVertices += int64(n)
+		cost.SampleEdges += int64(liveCount)
+	}
+	return s
+}
+
+// LTRRSampler generates reverse-reachable sets under the Linear Threshold
+// model: starting from a target, repeatedly select at most one in-edge of the
+// current vertex (edge (u, v) with probability w(u, v)) and walk backwards
+// until no edge is selected or a cycle is closed. The resulting RR "set" is a
+// reverse path, and PrR[R ∩ S ≠ ∅] = Inf_LT(S)/n exactly as in the IC case.
+type LTRRSampler struct {
+	g       *graph.InfluenceGraph
+	visited []uint32
+	epoch   uint32
+	path    []graph.VertexID
+}
+
+// NewLTRRSampler returns an LTRRSampler for ig.
+func NewLTRRSampler(ig *graph.InfluenceGraph) *LTRRSampler {
+	return &LTRRSampler{
+		g:       ig,
+		visited: make([]uint32, ig.NumVertices()),
+		path:    make([]graph.VertexID, 0, 32),
+	}
+}
+
+// Sample generates one LT RR set for a uniformly random target.
+func (r *LTRRSampler) Sample(targetSrc, edgeSrc rng.Source, cost *Cost) []graph.VertexID {
+	n := r.g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	return r.SampleFor(graph.VertexID(targetSrc.Intn(n)), edgeSrc, cost)
+}
+
+// SampleFor generates one LT RR set for the given target.
+func (r *LTRRSampler) SampleFor(target graph.VertexID, edgeSrc rng.Source, cost *Cost) []graph.VertexID {
+	r.epoch++
+	if r.epoch == 0 {
+		for i := range r.visited {
+			r.visited[i] = 0
+		}
+		r.epoch = 1
+	}
+	r.path = r.path[:0]
+	var verticesExamined, edgesExamined int64
+	current := target
+	for {
+		if r.visited[current] == r.epoch {
+			break // closed a cycle; stop as Kempe et al.'s construction does
+		}
+		r.visited[current] = r.epoch
+		r.path = append(r.path, current)
+		verticesExamined++
+
+		ins := r.g.InNeighbors(current)
+		weights := r.g.InProbabilities(current)
+		if len(ins) == 0 {
+			break
+		}
+		x := edgeSrc.Float64()
+		acc := 0.0
+		next := graph.VertexID(-1)
+		for i, u := range ins {
+			edgesExamined++
+			acc += weights[i]
+			if x < acc {
+				next = u
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		current = next
+	}
+	set := make([]graph.VertexID, len(r.path))
+	copy(set, r.path)
+	if cost != nil {
+		cost.VerticesExamined += verticesExamined
+		cost.EdgesExamined += edgesExamined
+		cost.SampleVertices += int64(len(set))
+	}
+	return set
+}

@@ -1,0 +1,301 @@
+package diffusion
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+	"imdist/internal/workload"
+)
+
+// ltLine returns 0 -> 1 -> 2 with weight w on each edge (each vertex has at
+// most one in-edge, so any w in (0,1] is a valid LT weighting).
+func ltLine(t *testing.T, w float64) *graph.InfluenceGraph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return w })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+// karateLT returns the Karate-sized test graph under iwc weights, which are
+// valid LT weights (they sum to exactly 1 per vertex).
+func smallIWC(t *testing.T) *graph.InfluenceGraph {
+	t.Helper()
+	b := graph.NewBuilder(20)
+	for u := 0; u < 20; u++ {
+		for d := 1; d <= 3; d++ {
+			if err := b.AddEdge(graph.VertexID(u), graph.VertexID((u+d)%20)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ig, err := workload.Assign(b.Build(), workload.IWC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+func TestModelStringAndParse(t *testing.T) {
+	if IC.String() != "IC" || LT.String() != "LT" || Model(9).String() != "unknown" {
+		t.Error("Model.String mismatch")
+	}
+	for _, s := range []string{"IC", "ic"} {
+		if m, err := ParseModel(s); err != nil || m != IC {
+			t.Errorf("ParseModel(%q) = %v, %v", s, m, err)
+		}
+	}
+	for _, s := range []string{"LT", "lt"} {
+		if m, err := ParseModel(s); err != nil || m != LT {
+			t.Errorf("ParseModel(%q) = %v, %v", s, m, err)
+		}
+	}
+	if _, err := ParseModel("bogus"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("ParseModel(bogus) err = %v", err)
+	}
+}
+
+func TestValidateLTWeights(t *testing.T) {
+	if err := ValidateLTWeights(smallIWC(t)); err != nil {
+		t.Errorf("iwc weights rejected: %v", err)
+	}
+	// uc0.9 on a vertex with 3 in-edges sums to 2.7 > 1.
+	b := graph.NewBuilder(4)
+	for u := 0; u < 3; u++ {
+		if err := b.AddEdge(graph.VertexID(u), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return 0.9 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateLTWeights(ig); !errors.Is(err, ErrInvalidLTWeights) {
+		t.Errorf("invalid weights accepted: %v", err)
+	}
+}
+
+func TestLTSimulatorCertainChain(t *testing.T) {
+	// Weight 1 on each edge: the single in-neighbour always meets any
+	// threshold in [0,1) once active, so the whole chain activates.
+	ig := ltLine(t, 1.0)
+	sim := NewLTSimulator(ig)
+	var cost Cost
+	got := sim.Run([]graph.VertexID{0}, rng.NewXoshiro(1), &cost)
+	if got != 3 {
+		t.Errorf("LT chain activation = %d, want 3", got)
+	}
+	if cost.VerticesExamined != 3 || cost.EdgesExamined != 2 {
+		t.Errorf("LT cost = %+v", cost)
+	}
+}
+
+func TestLTSimulatorExpectedSpreadOnLine(t *testing.T) {
+	// For a single in-edge with weight w, activation probability is exactly w
+	// (threshold uniform). Inf_LT({0}) on the line = 1 + w + w^2.
+	w := 0.6
+	ig := ltLine(t, w)
+	sim := NewLTSimulator(ig)
+	got := sim.EstimateInfluence([]graph.VertexID{0}, 60000, rng.NewXoshiro(3), nil)
+	want := 1 + w + w*w
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("LT spread = %v, want approx %v", got, want)
+	}
+	if sim.EstimateInfluence([]graph.VertexID{0}, 0, rng.NewXoshiro(1), nil) != 0 {
+		t.Error("zero simulations should estimate 0")
+	}
+}
+
+func TestLTSimulatorDuplicateSeedsAndWraparound(t *testing.T) {
+	ig := ltLine(t, 1.0)
+	sim := NewLTSimulator(ig)
+	sim.epoch = ^uint32(0) - 1
+	for i := 0; i < 4; i++ {
+		if got := sim.Run([]graph.VertexID{0, 0}, rng.NewXoshiro(uint64(i+1)), nil); got != 3 {
+			t.Fatalf("run %d = %d, want 3", i, got)
+		}
+	}
+}
+
+func TestSampleLTSnapshotAtMostOneInEdge(t *testing.T) {
+	ig := smallIWC(t)
+	src := rng.NewXoshiro(7)
+	for rep := 0; rep < 50; rep++ {
+		snap := SampleLTSnapshot(ig, src, nil)
+		inDeg := make([]int, ig.NumVertices())
+		for v := 0; v < snap.NumVertices(); v++ {
+			for _, w := range snap.OutNeighbors(graph.VertexID(v)) {
+				inDeg[w]++
+			}
+		}
+		for v, d := range inDeg {
+			if d > 1 {
+				t.Fatalf("vertex %d has %d live in-edges in an LT snapshot", v, d)
+			}
+		}
+	}
+}
+
+func TestSampleLTSnapshotSelectionProbability(t *testing.T) {
+	// Vertex 2 has in-edges from 0 (weight 0.3) and 1 (weight 0.5); edge
+	// (0,2) must be selected with probability 0.3 and no edge with 0.2.
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(u, _ graph.VertexID) float64 {
+		if u == 0 {
+			return 0.3
+		}
+		return 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewXoshiro(11)
+	const reps = 40000
+	from0, from1, none := 0, 0, 0
+	for i := 0; i < reps; i++ {
+		snap := SampleLTSnapshot(ig, src, nil)
+		switch {
+		case len(snap.OutNeighbors(0)) == 1:
+			from0++
+		case len(snap.OutNeighbors(1)) == 1:
+			from1++
+		default:
+			none++
+		}
+	}
+	if math.Abs(float64(from0)/reps-0.3) > 0.01 {
+		t.Errorf("edge (0,2) selected with frequency %v, want 0.3", float64(from0)/reps)
+	}
+	if math.Abs(float64(from1)/reps-0.5) > 0.01 {
+		t.Errorf("edge (1,2) selected with frequency %v, want 0.5", float64(from1)/reps)
+	}
+	if math.Abs(float64(none)/reps-0.2) > 0.01 {
+		t.Errorf("no-edge frequency %v, want 0.2", float64(none)/reps)
+	}
+}
+
+func TestSampleLTSnapshotCostAccounting(t *testing.T) {
+	ig := ltLine(t, 1.0)
+	var cost Cost
+	snap := SampleLTSnapshot(ig, rng.NewXoshiro(1), &cost)
+	if cost.SampleVertices != 3 || cost.SampleEdges != int64(snap.NumLiveEdges()) {
+		t.Errorf("LT snapshot cost = %+v with %d live edges", cost, snap.NumLiveEdges())
+	}
+}
+
+func TestLTSnapshotReachabilityMatchesSimulation(t *testing.T) {
+	// The live-edge characterization: average reachability from a seed over
+	// LT snapshots equals the LT simulation estimate.
+	ig := smallIWC(t)
+	seeds := []graph.VertexID{0}
+	src := rng.NewXoshiro(5)
+	const reps = 30000
+	total := 0
+	visited := make([]uint32, ig.NumVertices())
+	queue := make([]graph.VertexID, 0, ig.NumVertices())
+	for i := 0; i < reps; i++ {
+		snap := SampleLTSnapshot(ig, src, nil)
+		total += snap.Reachable(seeds, nil, nil, visited, uint32(i+1), queue, nil)
+	}
+	bySnapshot := float64(total) / reps
+	sim := NewLTSimulator(ig)
+	bySimulation := sim.EstimateInfluence(seeds, reps, rng.NewXoshiro(9), nil)
+	if math.Abs(bySnapshot-bySimulation) > 0.05*bySimulation+0.05 {
+		t.Errorf("LT snapshot estimate %v != simulation estimate %v", bySnapshot, bySimulation)
+	}
+}
+
+func TestLTRRSamplerIsReversePath(t *testing.T) {
+	ig := smallIWC(t)
+	sampler := NewLTRRSampler(ig)
+	t1, t2 := rng.NewXoshiro(1), rng.NewXoshiro(2)
+	for i := 0; i < 200; i++ {
+		set := sampler.Sample(t1, t2, nil)
+		if len(set) == 0 {
+			t.Fatal("empty LT RR set")
+		}
+		seen := map[graph.VertexID]bool{}
+		for _, v := range set {
+			if seen[v] {
+				t.Fatalf("LT RR set revisits vertex %d: %v", v, set)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLTRRMembershipMatchesInfluence(t *testing.T) {
+	// Pr[v in RR] = Inf_LT(v)/n, checked on the weighted line graph where the
+	// exact LT influence of the source is 1 + w + w^2.
+	w := 0.5
+	ig := ltLine(t, w)
+	sampler := NewLTRRSampler(ig)
+	t1, t2 := rng.NewXoshiro(21), rng.NewXoshiro(22)
+	const reps = 60000
+	hits := 0
+	for i := 0; i < reps; i++ {
+		for _, v := range sampler.Sample(t1, t2, nil) {
+			if v == 0 {
+				hits++
+				break
+			}
+		}
+	}
+	got := 3 * float64(hits) / reps
+	want := 1 + w + w*w
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("n*Pr[0 in RR] = %v, want %v", got, want)
+	}
+}
+
+func TestLTRRSamplerEmptyGraphAndCost(t *testing.T) {
+	empty, err := graph.NewInfluenceGraph(graph.NewBuilder(0).Build(), func(_, _ graph.VertexID) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set := NewLTRRSampler(empty).Sample(rng.NewXoshiro(1), rng.NewXoshiro(2), nil); set != nil {
+		t.Errorf("LT RR set on empty graph = %v", set)
+	}
+	ig := ltLine(t, 1.0)
+	var cost Cost
+	set := NewLTRRSampler(ig).SampleFor(2, rng.NewXoshiro(1), &cost)
+	if cost.SampleVertices != int64(len(set)) || cost.VerticesExamined != int64(len(set)) {
+		t.Errorf("LT RR cost = %+v for set %v", cost, set)
+	}
+}
+
+func BenchmarkLTSimulate(b *testing.B) {
+	builder := graph.NewBuilder(200)
+	for u := 0; u < 200; u++ {
+		for d := 1; d <= 5; d++ {
+			_ = builder.AddEdge(graph.VertexID(u), graph.VertexID((u+d)%200))
+		}
+	}
+	ig, err := workload.Assign(builder.Build(), workload.IWC, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := NewLTSimulator(ig)
+	src := rng.NewXoshiro(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run([]graph.VertexID{0}, src, nil)
+	}
+}

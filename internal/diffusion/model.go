@@ -1,0 +1,52 @@
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model identifies a network diffusion model. The paper's experiments use the
+// Independent Cascade model; the Linear Threshold model of Granovetter and
+// Kempe et al. is provided as an extension because every approach (Oneshot,
+// Snapshot, RIS) carries over to it through its own live-edge
+// characterization.
+type Model int
+
+const (
+	// IC is the Independent Cascade model: each newly activated vertex gets
+	// one independent chance to activate each inactive out-neighbour with the
+	// edge's probability.
+	IC Model = iota
+	// LT is the Linear Threshold model: vertex v activates once the total
+	// incoming weight from active neighbours exceeds a uniformly random
+	// threshold; edge probabilities are interpreted as weights and must sum
+	// to at most 1 over each vertex's in-edges.
+	LT
+)
+
+// ErrUnknownModel reports an unrecognised diffusion model.
+var ErrUnknownModel = errors.New("diffusion: unknown model")
+
+// String returns the conventional abbreviation of the model.
+func (m Model) String() string {
+	switch m {
+	case IC:
+		return "IC"
+	case LT:
+		return "LT"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseModel converts "IC"/"LT" (case-exact) into a Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "IC", "ic":
+		return IC, nil
+	case "LT", "lt":
+		return LT, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownModel, s)
+	}
+}

@@ -1,0 +1,123 @@
+package diffusion
+
+import (
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+// Snapshot is one live-edge random graph G(i) ~ G sampled from an influence
+// graph: every edge of the original graph is kept independently with its
+// influence probability. Only the forward adjacency of live edges is stored,
+// in CSR form, because Snapshot-type algorithms only ever traverse forward.
+type Snapshot struct {
+	n      int
+	outIdx []int32
+	outAdj []graph.VertexID
+}
+
+// NumVertices returns the number of vertices.
+func (s *Snapshot) NumVertices() int { return s.n }
+
+// NumLiveEdges returns the number of edges kept in this snapshot.
+func (s *Snapshot) NumLiveEdges() int { return len(s.outAdj) }
+
+// OutNeighbors returns the live out-neighbours of v. The returned slice
+// aliases internal storage and must not be modified.
+func (s *Snapshot) OutNeighbors(v graph.VertexID) []graph.VertexID {
+	return s.outAdj[s.outIdx[v]:s.outIdx[v+1]]
+}
+
+// SampleSnapshot draws one live-edge graph from ig. Every edge consumes one
+// uniform random number from src (the Snapshot PRNG discipline of §4.1).
+// When cost is non-nil the stored vertices and edges are added to the sample
+// size counters; generating a snapshot touches every edge once, which the
+// paper notes "does not dominate the whole time complexity" and is therefore
+// not charged to the traversal counters.
+func SampleSnapshot(ig *graph.InfluenceGraph, src rng.Source, cost *Cost) *Snapshot {
+	n := ig.NumVertices()
+	s := &Snapshot{
+		n:      n,
+		outIdx: make([]int32, n+1),
+	}
+	// First pass: flip one coin per edge and remember outcomes compactly.
+	live := make([]bool, ig.NumEdges())
+	liveCount := 0
+	pos := 0
+	for v := 0; v < n; v++ {
+		probs := ig.OutProbabilities(graph.VertexID(v))
+		for i := range probs {
+			if src.Float64() < probs[i] {
+				live[pos+i] = true
+				liveCount++
+			}
+		}
+		pos += len(probs)
+	}
+	s.outAdj = make([]graph.VertexID, 0, liveCount)
+	pos = 0
+	for v := 0; v < n; v++ {
+		neighbors := ig.OutNeighbors(graph.VertexID(v))
+		for i, w := range neighbors {
+			if live[pos+i] {
+				s.outAdj = append(s.outAdj, w)
+			}
+		}
+		pos += len(neighbors)
+		s.outIdx[v+1] = int32(len(s.outAdj))
+	}
+	if cost != nil {
+		cost.SampleVertices += int64(n)
+		cost.SampleEdges += int64(liveCount)
+	}
+	return s
+}
+
+// Reachable performs a breadth-first search in the snapshot from the frontier
+// seeds, skipping vertices for which blocked returns true, and returns the
+// number of newly reached vertices (including the unblocked seeds). visit is
+// called for every newly reached vertex. Traversal cost is charged one vertex
+// per reached vertex and one edge per scanned outgoing live edge, matching
+// the Estimate cost model of Algorithm 3.3.
+//
+// The scratch slices visited and queue must have length ≥ n and are reset by
+// the caller via the epoch value: a vertex counts as already visited when
+// visited[v] == epoch.
+func (s *Snapshot) Reachable(seeds []graph.VertexID, blocked func(graph.VertexID) bool,
+	visit func(graph.VertexID), visited []uint32, epoch uint32, queue []graph.VertexID, cost *Cost) int {
+
+	queue = queue[:0]
+	reached := 0
+	for _, v := range seeds {
+		if visited[v] == epoch || (blocked != nil && blocked(v)) {
+			continue
+		}
+		visited[v] = epoch
+		queue = append(queue, v)
+		reached++
+		if visit != nil {
+			visit(v)
+		}
+	}
+	var verticesExamined, edgesExamined int64
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		verticesExamined++
+		for _, w := range s.OutNeighbors(v) {
+			edgesExamined++
+			if visited[w] == epoch || (blocked != nil && blocked(w)) {
+				continue
+			}
+			visited[w] = epoch
+			queue = append(queue, w)
+			reached++
+			if visit != nil {
+				visit(w)
+			}
+		}
+	}
+	if cost != nil {
+		cost.VerticesExamined += verticesExamined
+		cost.EdgesExamined += edgesExamined
+	}
+	return reached
+}

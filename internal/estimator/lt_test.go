@@ -1,0 +1,168 @@
+package estimator
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"imdist/internal/diffusion"
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+// ltChain returns 0 -> 1 -> 2 -> 3 with weight w on every edge (valid LT
+// weights because every vertex has a single in-edge). The exact LT influence
+// of vertex 0 is 1 + w + w^2 + w^3.
+func ltChain(t testing.TB, w float64) *graph.InfluenceGraph {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	for v := 0; v < 3; v++ {
+		if err := b.AddEdge(graph.VertexID(v), graph.VertexID(v+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return w })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+func TestLTEstimatorsUnbiasedOnChain(t *testing.T) {
+	w := 0.5
+	want := 1 + w + w*w + w*w*w
+	ig := ltChain(t, w)
+	cases := []struct {
+		a       Approach
+		samples int
+	}{
+		{Oneshot, 20000},
+		{Snapshot, 20000},
+		{RIS, 200000},
+	}
+	for _, c := range cases {
+		est, err := New(c.a, Config{
+			Graph:        ig,
+			SampleNumber: c.samples,
+			Source:       rng.NewXoshiro(7),
+			Model:        diffusion.LT,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := est.Estimate(0)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%v LT estimate = %v, want approx %v", c.a, got, want)
+		}
+	}
+}
+
+func TestLTEstimatorRejectsInvalidWeights(t *testing.T) {
+	// Three in-edges of weight 0.9 each sum to 2.7 > 1.
+	b := graph.NewBuilder(4)
+	for u := 0; u < 3; u++ {
+		if err := b.AddEdge(graph.VertexID(u), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return 0.9 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Snapshot, Config{Graph: ig, SampleNumber: 4, Source: rng.NewXoshiro(1), Model: diffusion.LT})
+	if !errors.Is(err, diffusion.ErrInvalidLTWeights) {
+		t.Errorf("invalid LT weights err = %v", err)
+	}
+}
+
+func TestLTGreedyBehaviourOnWeightedGraph(t *testing.T) {
+	// On a weighted ring-with-chords graph the LT estimators must agree on
+	// the marginal ranking of a hub versus a peripheral vertex, and
+	// committing the hub must reduce its own marginal for the submodular
+	// estimators. Weights are set to 1/(2·d⁻(v)) so that, unlike the iwc
+	// extreme where every vertex always activates, propagation can die out.
+	b := graph.NewBuilder(30)
+	// Hub 0 points to many vertices; the rest form a sparse ring.
+	for v := 1; v <= 10; v++ {
+		if err := b.AddEdge(0, graph.VertexID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 1; v < 30; v++ {
+		if err := b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	ig, err := graph.NewInfluenceGraph(g, func(_, v graph.VertexID) float64 {
+		return 0.5 / float64(g.InDegree(v))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		a       Approach
+		samples int
+	}{{Snapshot, 2000}, {RIS, 50000}} {
+		est, err := New(c.a, Config{Graph: ig, SampleNumber: c.samples, Source: rng.NewXoshiro(3), Model: diffusion.LT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hub := est.Estimate(0)
+		leaf := est.Estimate(20)
+		if hub <= leaf {
+			t.Errorf("%v (LT): hub marginal %v <= leaf marginal %v", c.a, hub, leaf)
+		}
+		est.Update(0)
+		if after := est.Estimate(0); after > hub/2 {
+			t.Errorf("%v (LT): committed hub marginal did not drop: %v -> %v", c.a, hub, after)
+		}
+	}
+}
+
+func TestICAndLTDifferOnSharedInfluenceGraph(t *testing.T) {
+	// IC and LT generally give different spreads for the same weighted graph
+	// (IC tries every in-edge independently, LT at most one); verify the
+	// estimators actually switch behaviour with the Model flag. Vertex 3 has
+	// two in-edges of weight 0.5: IC activates it with probability 0.75 when
+	// both parents are active, LT with probability 1.
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(u, _ graph.VertexID) float64 {
+		if u == 0 {
+			return 1.0
+		}
+		return 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	icEst, err := New(Oneshot, Config{Graph: ig, SampleNumber: 40000, Source: rng.NewXoshiro(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltEst, err := New(Oneshot, Config{Graph: ig, SampleNumber: 40000, Source: rng.NewXoshiro(5), Model: diffusion.LT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := icEst.Estimate(0)
+	lt := ltEst.Estimate(0)
+	// IC: 1 + 1 + 1 + 0.75 = 3.75; LT: 1 + 1 + 1 + 1 = 4.
+	if math.Abs(ic-3.75) > 0.05 {
+		t.Errorf("IC estimate = %v, want approx 3.75", ic)
+	}
+	if math.Abs(lt-4.0) > 0.05 {
+		t.Errorf("LT estimate = %v, want approx 4.0", lt)
+	}
+}

@@ -1,0 +1,197 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"imdist/internal/estimator"
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+func lineGraph(t *testing.T, p float64) *graph.InfluenceGraph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+func diamondGraph(t *testing.T, p float64) *graph.InfluenceGraph {
+	t.Helper()
+	// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: two paths from 0 to 3.
+	b := graph.NewBuilder(4)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+func TestInfluenceLine(t *testing.T) {
+	// Inf({0}) on 0->1->2 with p: 1 + p + p^2.
+	for _, p := range []float64{0.1, 0.5, 1.0} {
+		ig := lineGraph(t, p)
+		got, err := Influence(ig, []graph.VertexID{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 + p + p*p
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v: Influence = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestInfluenceDiamond(t *testing.T) {
+	// Inf({0}) = 1 + 2p + Pr[3 activated]; 3 is activated unless both paths
+	// fail: 1 - (1 - p^2)^2.
+	p := 0.5
+	ig := diamondGraph(t, p)
+	got, err := Influence(ig, []graph.VertexID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 2*p + 1 - (1-p*p)*(1-p*p)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Influence = %v, want %v", got, want)
+	}
+}
+
+func TestInfluenceMultipleSeeds(t *testing.T) {
+	ig := lineGraph(t, 0.5)
+	got, err := Influence(ig, []graph.VertexID{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds {0,2}: 2 + Pr[1 activated] = 2 + 0.5.
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Influence({0,2}) = %v, want 2.5", got)
+	}
+}
+
+func TestInfluenceEmptyAndErrors(t *testing.T) {
+	ig := lineGraph(t, 0.5)
+	got, err := Influence(ig, nil)
+	if err != nil || got != 0 {
+		t.Errorf("Influence(empty) = %v, %v", got, err)
+	}
+	if _, err := Influence(ig, []graph.VertexID{7}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	// Graph with too many edges.
+	b := graph.NewBuilder(30)
+	for i := 0; i < 29; i++ {
+		if err := b.AddEdge(graph.VertexID(i), graph.VertexID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Influence(big, []graph.VertexID{0}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized graph err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSamplingEstimatorsAgreeWithExact(t *testing.T) {
+	// Cross-validation (DESIGN.md §6): the three approaches' estimates of
+	// Inf({0}) on the diamond graph must agree with the exact value within
+	// Monte-Carlo tolerance.
+	ig := diamondGraph(t, 0.3)
+	want, err := Influence(ig, []graph.VertexID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a       estimator.Approach
+		samples int
+		tol     float64
+	}{
+		{estimator.Oneshot, 20000, 0.05},
+		{estimator.Snapshot, 20000, 0.05},
+		{estimator.RIS, 400000, 0.05},
+	}
+	for _, c := range cases {
+		est, err := estimator.New(c.a, estimator.Config{Graph: ig, SampleNumber: c.samples, Source: rng.NewXoshiro(7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := est.Estimate(0)
+		if math.Abs(got-want) > c.tol {
+			t.Errorf("%v estimate = %v, exact = %v (tolerance %v)", c.a, got, want, c.tol)
+		}
+	}
+}
+
+func TestGreedyExact(t *testing.T) {
+	// Two disjoint edges 0->1, 2->3 with p=1: optimal k=2 is {0,2} with
+	// influence 4.
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Greedy(ig, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Influence-4) > 1e-12 {
+		t.Errorf("greedy influence = %v, want 4", res.Influence)
+	}
+	if len(res.Seeds) != 2 || len(res.MarginalGains) != 2 {
+		t.Errorf("greedy result = %+v", res)
+	}
+	if res.MarginalGains[0] != 2 || res.MarginalGains[1] != 2 {
+		t.Errorf("marginal gains = %v, want [2 2]", res.MarginalGains)
+	}
+	if _, err := Greedy(ig, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Greedy(ig, 9); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestBestSingleVertices(t *testing.T) {
+	ig := lineGraph(t, 0.5)
+	vs, infs, err := BestSingleVertices(ig, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0] != 0 {
+		t.Errorf("most influential vertex = %d, want 0", vs[0])
+	}
+	if !(infs[0] >= infs[1] && infs[1] >= infs[2]) {
+		t.Errorf("influences not sorted: %v", infs)
+	}
+	if math.Abs(infs[0]-1.75) > 1e-12 {
+		t.Errorf("Inf(0) = %v, want 1.75", infs[0])
+	}
+	// topK <= 0 returns all.
+	vsAll, _, err := BestSingleVertices(ig, 0)
+	if err != nil || len(vsAll) != 3 {
+		t.Errorf("BestSingleVertices(0) returned %d vertices, err %v", len(vsAll), err)
+	}
+}

@@ -1,0 +1,399 @@
+package experiment
+
+import (
+	"io"
+
+	"imdist/internal/core"
+	"imdist/internal/data"
+	"imdist/internal/estimator"
+	"imdist/internal/exact"
+	"imdist/internal/graph"
+	"imdist/internal/greedy"
+	"imdist/internal/heuristics"
+	"imdist/internal/rng"
+	"imdist/internal/workload"
+)
+
+// printEntropySeries prints one entropy-decay series (one line per sample
+// number) labelled with the instance and approach.
+func printEntropySeries(w io.Writer, label string, a estimator.Approach, curve []core.EntropyPoint) error {
+	for _, p := range curve {
+		if err := printf(w, "%-32s %-9s %10d %8.3f %6d\n",
+			label, a, p.SampleNumber, p.Entropy, p.Distinct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFig1 reproduces Figure 1: the entropy of the seed-set distribution on
+// Karate (uc0.1) as the sample number grows, for each approach and seed size.
+func runFig1(w io.Writer, env *Env) error {
+	if err := printf(w, "%-32s %-9s %10s %8s %6s\n", "instance", "algorithm", "samples", "entropy", "sets"); err != nil {
+		return err
+	}
+	for _, k := range seedSizesFor(env.Scale) {
+		inst := instance{Dataset: data.KarateSet, Model: workload.UC01, K: k}
+		for _, a := range allApproaches() {
+			sweep, err := env.sweep(inst, a)
+			if err != nil {
+				return err
+			}
+			if err := printEntropySeries(w, inst.String(), a, core.EntropyCurve(sweep)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runFig2 reproduces Figure 2: instances whose entropy plateaus because two
+// seed sets have almost the same influence (Karate iwc k=4, Physicians iwc
+// k=1; the unit preset keeps only the Karate instance).
+func runFig2(w io.Writer, env *Env) error {
+	if err := printf(w, "%-32s %-9s %10s %8s %6s\n", "instance", "algorithm", "samples", "entropy", "sets"); err != nil {
+		return err
+	}
+	instances := []instance{{Dataset: data.KarateSet, Model: workload.IWC, K: 4}}
+	if env.Scale.Preset != Unit {
+		instances = append(instances, instance{Dataset: data.Physicians, Model: workload.IWC, K: 1})
+	}
+	for _, inst := range instances {
+		for _, a := range allApproaches() {
+			sweep, err := env.sweep(inst, a)
+			if err != nil {
+				return err
+			}
+			if err := printEntropySeries(w, inst.String(), a, core.EntropyCurve(sweep)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runFig3 reproduces Figure 3: the entropy decay of RIS on the two
+// Barabási–Albert networks for each edge-probability setting; iwc decays the
+// fastest because the top vertex's influence margin is the largest (Table 4).
+func runFig3(w io.Writer, env *Env) error {
+	if err := printf(w, "%-32s %-9s %10s %8s %6s\n", "instance", "algorithm", "samples", "entropy", "sets"); err != nil {
+		return err
+	}
+	for _, ds := range []data.Dataset{data.BASparse, data.BADense} {
+		for _, m := range workload.StandardModels() {
+			inst := instance{Dataset: ds, Model: m, K: 1}
+			sweep, err := env.sweep(inst, estimator.RIS)
+			if err != nil {
+				return err
+			}
+			if err := printEntropySeries(w, inst.String(), estimator.RIS, core.EntropyCurve(sweep)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// printInfluenceSeries prints one influence-distribution series: for each
+// sample number, the notched-box-plot summary the paper plots in Figure 4.
+func printInfluenceSeries(w io.Writer, label string, a estimator.Approach, curve []core.InfluencePoint) error {
+	for _, p := range curve {
+		b := p.Box
+		if err := printf(w, "%-32s %-9s %10d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			label, a, p.SampleNumber, b.Mean, b.Percentile1, b.Median, b.Percentile99, b.StdDev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func influenceHeader(w io.Writer) error {
+	return printf(w, "%-32s %-9s %10s %10s %10s %10s %10s %10s\n",
+		"instance", "algorithm", "samples", "mean", "p1", "median", "p99", "stddev")
+}
+
+// runFig4 reproduces Figure 4: influence distributions as notched box plots
+// for the three approaches on Physicians (uc0.1, k=16) (Karate k=4 on the
+// unit preset).
+func runFig4(w io.Writer, env *Env) error {
+	if err := influenceHeader(w); err != nil {
+		return err
+	}
+	inst := boxDataset(env.Scale)
+	for _, a := range allApproaches() {
+		sweep, err := env.sweep(inst, a)
+		if err != nil {
+			return err
+		}
+		if err := printInfluenceSeries(w, inst.String(), a, core.InfluenceCurve(sweep)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFig5 reproduces Figure 5: RIS influence distributions on ca-GrQc (k=1)
+// under uc0.1 (quick convergence driven by the giant component) and owc
+// (slow improvement because all vertices are similarly influential).
+func runFig5(w io.Writer, env *Env) error {
+	if err := influenceHeader(w); err != nil {
+		return err
+	}
+	ds := grqcDataset(env.Scale)
+	for _, m := range []workload.Model{workload.UC01, workload.OWC} {
+		inst := instance{Dataset: ds, Model: m, K: 1}
+		sweep, err := env.sweep(inst, estimator.RIS)
+		if err != nil {
+			return err
+		}
+		if err := printInfluenceSeries(w, inst.String(), estimator.RIS, core.InfluenceCurve(sweep)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFig6 reproduces Figure 6: the relation between the mean influence and
+// the standard deviation / 1st percentile is nearly independent of the
+// approach, which justifies comparing approaches by the mean alone.
+func runFig6(w io.Writer, env *Env) error {
+	if err := printf(w, "%-32s %-9s %10s %10s %10s %10s\n",
+		"instance", "algorithm", "samples", "mean", "stddev", "p1"); err != nil {
+		return err
+	}
+	var instances []instance
+	if env.Scale.Preset == Unit {
+		instances = []instance{
+			{Dataset: data.KarateSet, Model: workload.OWC, K: 4},
+			{Dataset: data.KarateSet, Model: workload.UC01, K: 4},
+		}
+	} else {
+		instances = []instance{
+			{Dataset: data.Physicians, Model: workload.OWC, K: 4},
+			{Dataset: data.Physicians, Model: workload.UC01, K: 16},
+		}
+	}
+	for _, inst := range instances {
+		for _, a := range allApproaches() {
+			sweep, err := env.sweep(inst, a)
+			if err != nil {
+				return err
+			}
+			for _, p := range core.InfluenceCurve(sweep) {
+				if err := printf(w, "%-32s %-9s %10d %10.3f %10.4f %10.3f\n",
+					inst.String(), a, p.SampleNumber, p.Box.Mean, p.Box.StdDev, p.Box.Percentile1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runFig7 reproduces Figure 7: the comparable number ratio β/τ of Oneshot to
+// Snapshot as a function of Snapshot's sample number τ, for several seed
+// sizes.
+func runFig7(w io.Writer, env *Env) error {
+	if err := printf(w, "%-32s %3s %10s %12s %12s\n",
+		"instance", "k", "tau", "comparable", "ratio"); err != nil {
+		return err
+	}
+	models := []workload.Model{workload.UC001, workload.IWC}
+	ds := data.Physicians
+	if env.Scale.Preset == Unit {
+		ds = data.KarateSet
+	}
+	for _, m := range models {
+		for _, k := range seedSizesFor(env.Scale) {
+			inst := instance{Dataset: ds, Model: m, K: k}
+			snapshotSweep, err := env.sweep(inst, estimator.Snapshot)
+			if err != nil {
+				return err
+			}
+			oneshotSweep, err := env.sweep(inst, estimator.Oneshot)
+			if err != nil {
+				return err
+			}
+			points, err := core.ComparableRatios(snapshotSweep, oneshotSweep)
+			if err != nil {
+				return err
+			}
+			for _, p := range points {
+				if !p.Found {
+					continue
+				}
+				if err := printf(w, "%-32s %3d %10d %12d %12s\n",
+					inst.String(), k, p.ReferenceSample, p.ComparableSample, fmtRatio(p.NumberRatio)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runFig8 reproduces Figure 8: the comparable size ratio of RIS to Snapshot
+// as a function of Snapshot's sample size τ·m̃.
+func runFig8(w io.Writer, env *Env) error {
+	if err := printf(w, "%-32s %3s %14s %14s %12s %12s\n",
+		"instance", "k", "tau", "snap size", "number ratio", "size ratio"); err != nil {
+		return err
+	}
+	models := []workload.Model{workload.UC001, workload.IWC}
+	ds := data.Physicians
+	if env.Scale.Preset == Unit {
+		ds = data.KarateSet
+	}
+	for _, m := range models {
+		for _, k := range seedSizesFor(env.Scale) {
+			inst := instance{Dataset: ds, Model: m, K: k}
+			snapshotSweep, err := env.sweep(inst, estimator.Snapshot)
+			if err != nil {
+				return err
+			}
+			risSweep, err := env.sweep(inst, estimator.RIS)
+			if err != nil {
+				return err
+			}
+			points, err := core.ComparableRatios(snapshotSweep, risSweep)
+			if err != nil {
+				return err
+			}
+			for i, p := range points {
+				if !p.Found {
+					continue
+				}
+				snapSize := snapshotSweep[i].MeanCost().SampleSize()
+				if err := printf(w, "%-32s %3d %14d %14.0f %12s %12s\n",
+					inst.String(), k, p.ReferenceSample, snapSize,
+					fmtRatio(p.NumberRatio), fmtRatio(p.SizeRatio)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runExactCheck cross-validates the three estimators and the oracle against
+// exact influence computation on a tiny instance (a validation experiment,
+// not a paper artefact).
+func runExactCheck(w io.Writer, env *Env) error {
+	// A small diamond-plus-tail graph with 6 vertices and 7 edges.
+	b := graph.NewBuilder(6)
+	edges := [][2]graph.VertexID{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {1, 5}}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	ig, err := graph.NewInfluenceGraph(b.Build(), func(_, _ graph.VertexID) float64 { return 0.4 })
+	if err != nil {
+		return err
+	}
+	want, err := exact.Influence(ig, []graph.VertexID{0})
+	if err != nil {
+		return err
+	}
+	if err := printf(w, "exact Inf({0}) = %.6f\n", want); err != nil {
+		return err
+	}
+	samples := map[estimator.Approach]int{
+		estimator.Oneshot:  20000,
+		estimator.Snapshot: 20000,
+		estimator.RIS:      200000,
+	}
+	if env.Scale.Preset == Unit {
+		samples = map[estimator.Approach]int{
+			estimator.Oneshot:  4000,
+			estimator.Snapshot: 4000,
+			estimator.RIS:      40000,
+		}
+	}
+	for _, a := range allApproaches() {
+		est, err := estimator.New(a, estimator.Config{
+			Graph:        ig,
+			SampleNumber: samples[a],
+			Source:       rng.Split(rng.Xoshiro, env.MasterSeed, uint64(a)+101),
+		})
+		if err != nil {
+			return err
+		}
+		got := est.Estimate(0)
+		if err := printf(w, "%-9s estimate = %.6f (error %+.4f)\n", a, got, got-want); err != nil {
+			return err
+		}
+	}
+	oracle, err := core.NewOracle(ig, samples[estimator.RIS], rng.Split(rng.Xoshiro, env.MasterSeed, 202))
+	if err != nil {
+		return err
+	}
+	got := oracle.Influence([]graph.VertexID{0})
+	return printf(w, "%-9s estimate = %.6f (error %+.4f)\n", "oracle", got, got-want)
+}
+
+// runHeuristics compares the Section 3.6 heuristics against the three
+// sampling approaches on Karate (iwc, k=4), reporting oracle influence.
+func runHeuristics(w io.Writer, env *Env) error {
+	inst := instance{Dataset: data.KarateSet, Model: workload.IWC, K: 4}
+	ig, err := env.InfluenceGraph(inst.Dataset, inst.Model)
+	if err != nil {
+		return err
+	}
+	oracle, err := env.Oracle(inst.Dataset, inst.Model)
+	if err != nil {
+		return err
+	}
+	if err := printf(w, "%-16s %12s  %s\n", "method", "influence", "seeds"); err != nil {
+		return err
+	}
+	report := func(name string, seeds []graph.VertexID) error {
+		return printf(w, "%-16s %12.3f  %v\n", name, oracle.Influence(seeds), seeds)
+	}
+	// Heuristics.
+	if seeds, err := heuristics.Degree(ig.Graph, inst.K); err == nil {
+		if err := report("Degree", seeds); err != nil {
+			return err
+		}
+	}
+	if seeds, err := heuristics.SingleDiscount(ig.Graph, inst.K); err == nil {
+		if err := report("SingleDiscount", seeds); err != nil {
+			return err
+		}
+	}
+	if seeds, err := heuristics.DegreeDiscount(ig, inst.K); err == nil {
+		if err := report("DegreeDiscount", seeds); err != nil {
+			return err
+		}
+	}
+	if seeds, err := heuristics.PageRank(ig.Graph, inst.K, heuristics.PageRankOptions{}); err == nil {
+		if err := report("PageRank", seeds); err != nil {
+			return err
+		}
+	}
+	// The three sampling approaches at a moderate sample number.
+	sampleNumbers := map[estimator.Approach]int{
+		estimator.Oneshot:  1 << env.Scale.MaxExpSim,
+		estimator.Snapshot: 1 << env.Scale.MaxExpSim,
+		estimator.RIS:      1 << env.Scale.MaxExpRIS,
+	}
+	for _, a := range allApproaches() {
+		est, err := estimator.New(a, estimator.Config{
+			Graph:        ig,
+			SampleNumber: sampleNumbers[a],
+			Source:       rng.Split(rng.Xoshiro, env.MasterSeed, uint64(a)+303),
+		})
+		if err != nil {
+			return err
+		}
+		seeds, err := greedy.Run(est, ig.NumVertices(), inst.K, rng.Split(rng.Xoshiro, env.MasterSeed, uint64(a)+404))
+		if err != nil {
+			return err
+		}
+		if err := report(a.String(), seeds); err != nil {
+			return err
+		}
+	}
+	// Oracle-greedy reference.
+	return report("OracleGreedy", oracle.GreedySeeds(inst.K))
+}

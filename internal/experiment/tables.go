@@ -1,0 +1,308 @@
+package experiment
+
+import (
+	"io"
+	"math"
+
+	"imdist/internal/core"
+	"imdist/internal/data"
+	"imdist/internal/estimator"
+	"imdist/internal/graph"
+	"imdist/internal/workload"
+)
+
+// runTable3 prints the network statistics of Table 3: n, m, maximum out- and
+// in-degree, clustering coefficient and average distance for every dataset at
+// the current preset.
+func runTable3(w io.Writer, env *Env) error {
+	if err := printf(w, "%-12s %10s %10s %6s %6s %10s %10s %s\n",
+		"network", "n", "m", "max+", "max-", "clus.coef", "avg.dist", "origin"); err != nil {
+		return err
+	}
+	for _, ds := range statsDatasets(env.Scale) {
+		g, err := data.Load(ds, data.Options{Seed: env.MasterSeed, ScaleDivisor: env.Scale.DatasetScaleDivisor})
+		if err != nil {
+			return err
+		}
+		s := graph.ComputeStats(g, 32)
+		origin := "real"
+		for _, info := range data.Catalog() {
+			if info.Name == ds {
+				if info.Scaled {
+					origin = "surrogate(scaled)"
+				} else if info.Surrogate {
+					origin = "surrogate"
+				} else if info.Type == "BA" {
+					origin = "synthetic"
+				}
+			}
+		}
+		if err := printf(w, "%-12s %10d %10d %6d %6d %10.3f %10.2f %s\n",
+			ds, s.Vertices, s.Edges, s.MaxOutDegree, s.MaxInDegree,
+			s.ClusteringCoefficient, s.AverageDistance, origin); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTable4 prints the top three single-vertex influence spreads of the two
+// Barabási–Albert networks under each probability setting, the quantity the
+// paper uses to explain entropy-decay speed differences.
+func runTable4(w io.Writer, env *Env) error {
+	if err := printf(w, "%-8s %-7s %14s %14s %14s\n",
+		"network", "prob", "Inf(v1st)", "Inf(v2nd)", "Inf(v3rd)"); err != nil {
+		return err
+	}
+	for _, ds := range []data.Dataset{data.BASparse, data.BADense} {
+		for _, m := range standardModelsFor(env.Scale) {
+			oracle, err := env.Oracle(ds, m)
+			if err != nil {
+				return err
+			}
+			_, infs := oracle.TopSingleVertices(3)
+			for len(infs) < 3 {
+				infs = append(infs, 0)
+			}
+			if err := printf(w, "%-8s %-7s %14.4f %14.4f %14.4f\n",
+				ds, m, infs[0], infs[1], infs[2]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runTable5 prints, per instance and approach, the least sample number (as
+// log2) achieving near-optimal solutions with 99% probability and the entropy
+// at that sample number.
+func runTable5(w io.Writer, env *Env) error {
+	if err := printf(w, "%-12s %-7s %3s  %12s %7s  %12s %7s  %12s %7s\n",
+		"network", "prob", "k",
+		"log2(beta*)", "H*", "log2(tau*)", "H*", "log2(theta*)", "H*"); err != nil {
+		return err
+	}
+	crit := core.DefaultNearOptimal()
+	for _, ds := range smallDistributionDatasets(env.Scale) {
+		for _, m := range standardModelsFor(env.Scale) {
+			for _, k := range seedSizesFor(env.Scale) {
+				inst := instance{Dataset: ds, Model: m, K: k}
+				ref, err := env.referenceInfluence(inst)
+				if err != nil {
+					return err
+				}
+				cells := make([]string, 0, 6)
+				for _, a := range allApproaches() {
+					sweep, err := env.sweep(inst, a)
+					if err != nil {
+						return err
+					}
+					res, err := core.LeastSampleNumber(sweep, ref, crit)
+					if err != nil {
+						return err
+					}
+					cells = append(cells,
+						fmtMissing(res.Found, "%.0f", res.Log2),
+						fmtMissing(res.Found, "%.2f", res.Entropy))
+				}
+				if err := printf(w, "%-12s %-7s %3d  %12s %7s  %12s %7s  %12s %7s\n",
+					ds, m, k, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runTable6 prints the median comparable number ratio of Oneshot to Snapshot
+// per instance: how many times more simulations Oneshot needs to match
+// Snapshot's mean influence.
+func runTable6(w io.Writer, env *Env) error {
+	if err := printf(w, "%-12s %3s  %-7s %12s\n", "network", "k", "prob", "median beta/tau"); err != nil {
+		return err
+	}
+	for _, ds := range smallDistributionDatasets(env.Scale) {
+		for _, k := range seedSizesFor(env.Scale) {
+			for _, m := range standardModelsFor(env.Scale) {
+				inst := instance{Dataset: ds, Model: m, K: k}
+				snapshotSweep, err := env.sweep(inst, estimator.Snapshot)
+				if err != nil {
+					return err
+				}
+				oneshotSweep, err := env.sweep(inst, estimator.Oneshot)
+				if err != nil {
+					return err
+				}
+				points, err := core.ComparableRatios(snapshotSweep, oneshotSweep)
+				if err != nil {
+					return err
+				}
+				med, ok := core.MedianNumberRatio(points)
+				if err := printf(w, "%-12s %3d  %-7s %12s\n", ds, k, m, fmtMissing(ok, "%.0f", med)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runTable7 prints the median comparable number ratio and size ratio of RIS
+// to Snapshot per instance: RIS needs many more but much smaller samples.
+func runTable7(w io.Writer, env *Env) error {
+	if err := printf(w, "%-12s %3s  %-7s %16s %16s\n",
+		"network", "k", "prob", "number theta/tau", "size ratio"); err != nil {
+		return err
+	}
+	for _, ds := range smallDistributionDatasets(env.Scale) {
+		for _, k := range seedSizesFor(env.Scale) {
+			for _, m := range standardModelsFor(env.Scale) {
+				inst := instance{Dataset: ds, Model: m, K: k}
+				snapshotSweep, err := env.sweep(inst, estimator.Snapshot)
+				if err != nil {
+					return err
+				}
+				risSweep, err := env.sweep(inst, estimator.RIS)
+				if err != nil {
+					return err
+				}
+				points, err := core.ComparableRatios(snapshotSweep, risSweep)
+				if err != nil {
+					return err
+				}
+				num, numOK := core.MedianNumberRatio(points)
+				size, sizeOK := core.MedianSizeRatio(points)
+				numCell, sizeCell := "-", "-"
+				if numOK {
+					numCell = fmtRatio(num)
+				}
+				if sizeOK {
+					sizeCell = fmtRatio(size)
+				}
+				if err := printf(w, "%-12s %3d  %-7s %16s %16s\n", ds, k, m, numCell, sizeCell); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runTable8 prints the average vertex and edge traversal cost of each
+// approach at k = 1 and sample number 1 for every dataset and probability
+// setting (the per-sample cost of Section 5.3).
+func runTable8(w io.Writer, env *Env) error {
+	if err := printf(w, "%-12s %-7s %-9s %16s %16s\n",
+		"network", "prob", "algorithm", "vertex cost", "edge cost"); err != nil {
+		return err
+	}
+	for _, ds := range traversalDatasets(env.Scale) {
+		for _, m := range standardModelsFor(env.Scale) {
+			rows, err := env.traversalRows(ds, m)
+			if err != nil {
+				return err
+			}
+			for _, row := range rows {
+				if err := printf(w, "%-12s %-7s %-9s %16.1f %16.1f\n",
+					ds, m, row.Approach, row.VerticesExamined, row.EdgesExamined); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// traversalRows computes Table 8's rows for one (dataset, model) cell. On the
+// web-scale surrogates Oneshot is skipped, matching the paper's "–" entries.
+func (e *Env) traversalRows(ds data.Dataset, m workload.Model) ([]core.TraversalRow, error) {
+	ig, err := e.InfluenceGraph(ds, m)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := e.Oracle(ds, m)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.RunConfig{
+		Graph:      ig,
+		Trials:     trialsFor(e.Scale, ds),
+		MasterSeed: e.MasterSeed ^ 0x7ab1e8 ^ uint64(m)<<16,
+		Oracle:     oracle,
+	}
+	approaches := allApproaches()
+	if skipOneshot(ds) {
+		approaches = []estimator.Approach{estimator.Snapshot, estimator.RIS}
+	}
+	rows := make([]core.TraversalRow, 0, len(approaches))
+	for _, a := range approaches {
+		row, err := core.TraversalCost(cfg, a)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// skipOneshot reports whether the paper omits Oneshot on the dataset (the two
+// web-scale networks, where a single simulation pass over all vertices is
+// already prohibitive).
+func skipOneshot(ds data.Dataset) bool {
+	return ds == data.ComYoutube || ds == data.SocPokec
+}
+
+// runTable9 prints the traversal cost per accuracy unit γ when the three
+// approaches are conditioned to identical accuracy: β = cr1·γ, τ = γ,
+// θ = cr2·γ with cr1, cr2 the comparable number ratios to Snapshot.
+func runTable9(w io.Writer, env *Env) error {
+	if err := printf(w, "%-12s %-7s %-9s %18s\n",
+		"network", "prob", "algorithm", "cost per gamma"); err != nil {
+		return err
+	}
+	for _, ds := range smallDistributionDatasets(env.Scale) {
+		for _, m := range standardModelsFor(env.Scale) {
+			inst := instance{Dataset: ds, Model: m, K: 1}
+			snapshotSweep, err := env.sweep(inst, estimator.Snapshot)
+			if err != nil {
+				return err
+			}
+			oneshotRatio := -1.0
+			if !skipOneshot(ds) {
+				oneshotSweep, err := env.sweep(inst, estimator.Oneshot)
+				if err != nil {
+					return err
+				}
+				if points, err := core.ComparableRatios(snapshotSweep, oneshotSweep); err == nil {
+					if med, ok := core.MedianNumberRatio(points); ok {
+						oneshotRatio = med
+					}
+				}
+			}
+			risRatio := -1.0
+			risSweep, err := env.sweep(inst, estimator.RIS)
+			if err != nil {
+				return err
+			}
+			if points, err := core.ComparableRatios(snapshotSweep, risSweep); err == nil {
+				if med, ok := core.MedianNumberRatio(points); ok {
+					risRatio = med
+				}
+			}
+			rows, err := env.traversalRows(ds, m)
+			if err != nil {
+				return err
+			}
+			for _, row := range core.IdenticalAccuracyCosts(rows, oneshotRatio, risRatio) {
+				if math.IsNaN(row.CostPerGamma) {
+					continue
+				}
+				if err := printf(w, "%-12s %-7s %-9s %18.0f\n", ds, m, row.Approach, row.CostPerGamma); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

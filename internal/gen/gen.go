@@ -1,0 +1,314 @@
+// Package gen provides synthetic network generators. The paper evaluates on
+// two Barabási–Albert graphs (BA_s and BA_d) and on real social networks; the
+// generators here produce the former exactly and produce structured
+// surrogates standing in for the latter (see internal/data and DESIGN.md for
+// the substitution rationale).
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+// BarabasiAlbert generates an undirected scale-free graph with n vertices by
+// preferential attachment: every new vertex attaches to m existing vertices
+// chosen with probability proportional to their degree. Each undirected edge
+// is then assigned a uniformly random direction, matching the construction of
+// BA_s (m=1) and BA_d (m=11) in Section 4.2.2 of the paper.
+func BarabasiAlbert(n, m int, src rng.Source) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n > 0, got %d", n)
+	}
+	if m <= 0 || m >= n {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs 0 < m < n, got m=%d n=%d", m, n)
+	}
+	// repeatedNodes implements preferential attachment by sampling uniformly
+	// from the multiset of edge endpoints (each vertex appears once per unit
+	// of degree).
+	repeatedNodes := make([]graph.VertexID, 0, 2*n*m)
+	type undirected struct{ u, v graph.VertexID }
+	edges := make([]undirected, 0, n*m)
+
+	// Start from a small seed clique of m+1 vertices so every new vertex can
+	// find m distinct targets.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			edges = append(edges, undirected{graph.VertexID(u), graph.VertexID(v)})
+			repeatedNodes = append(repeatedNodes, graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	// Targets are kept in a slice (not a map) so that iteration order, and
+	// hence the generated graph, is deterministic for a given Source.
+	targets := make([]graph.VertexID, 0, m)
+	contains := func(x graph.VertexID) bool {
+		for _, t := range targets {
+			if t == x {
+				return true
+			}
+		}
+		return false
+	}
+	for v := m + 1; v < n; v++ {
+		targets = targets[:0]
+		for len(targets) < m {
+			t := repeatedNodes[src.Intn(len(repeatedNodes))]
+			if !contains(t) {
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			edges = append(edges, undirected{graph.VertexID(v), t})
+			repeatedNodes = append(repeatedNodes, graph.VertexID(v), t)
+		}
+	}
+
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		from, to := e.u, e.v
+		if src.Float64() < 0.5 {
+			from, to = to, from
+		}
+		if err := b.AddEdge(from, to); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// BarabasiAlbertUndirected generates the Barabási–Albert graph with both
+// directions of every undirected edge present (2 arcs per edge). This variant
+// is used when a workload calls for an undirected network, e.g. collaboration
+// graphs such as the ca-GrQc surrogate.
+func BarabasiAlbertUndirected(n, m int, src rng.Source) (*graph.Graph, error) {
+	g, err := BarabasiAlbert(n, m, src)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]struct{}, g.NumEdges())
+	for _, e := range g.Edges() {
+		u, v := e.From, e.To
+		if u == v {
+			continue
+		}
+		a, c := u, v
+		if a > c {
+			a, c = c, a
+		}
+		key := int64(a)<<32 | int64(uint32(c))
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := b.AddUndirected(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// ErdosRenyiGNM generates a directed graph with exactly m edges drawn
+// uniformly at random without replacement from all ordered pairs (u, v),
+// u != v.
+func ErdosRenyiGNM(n, m int, src rng.Source) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyiGNM needs n > 0, got %d", n)
+	}
+	maxEdges := n * (n - 1)
+	if m < 0 || m > maxEdges {
+		return nil, fmt.Errorf("gen: ErdosRenyiGNM needs 0 <= m <= n(n-1), got m=%d n=%d", m, n)
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]struct{}, m)
+	for b.NumEdges() < m {
+		u := graph.VertexID(src.Intn(n))
+		v := graph.VertexID(src.Intn(n))
+		if u == v {
+			continue
+		}
+		key := int64(u)<<32 | int64(uint32(v))
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbours (k even), with each edge
+// rewired with probability beta. The result is returned as a directed graph
+// with both arc directions present.
+func WattsStrogatz(n, k int, beta float64, src rng.Source) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs n > 0, got %d", n)
+	}
+	if k <= 0 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs even 0 < k < n, got k=%d n=%d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs beta in [0,1], got %v", beta)
+	}
+	type undirected struct{ u, v graph.VertexID }
+	edgeSet := make(map[undirected]struct{}, n*k/2)
+	normalize := func(u, v graph.VertexID) undirected {
+		if u > v {
+			u, v = v, u
+		}
+		return undirected{u, v}
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			edgeSet[normalize(graph.VertexID(i), graph.VertexID((i+j)%n))] = struct{}{}
+		}
+	}
+	// Rewire.
+	edges := make([]undirected, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	for _, e := range edges {
+		if src.Float64() >= beta {
+			continue
+		}
+		delete(edgeSet, e)
+		for {
+			w := graph.VertexID(src.Intn(n))
+			if w == e.u {
+				continue
+			}
+			cand := normalize(e.u, w)
+			if _, exists := edgeSet[cand]; exists {
+				continue
+			}
+			edgeSet[cand] = struct{}{}
+			break
+		}
+	}
+	b := graph.NewBuilder(n)
+	for e := range edgeSet {
+		if err := b.AddUndirected(e.u, e.v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// CoreWhisker generates a graph with the core–whisker structure the paper
+// uses to explain ca-GrQc's behaviour (Section 5.2.2): a densely connected
+// scale-free "core" of coreN vertices (Barabási–Albert with coreM attachments)
+// and tree-like "whiskers" hanging off core vertices until the total vertex
+// count reaches n. Both arc directions are present, as in a collaboration
+// network.
+func CoreWhisker(n, coreN, coreM int, src rng.Source) (*graph.Graph, error) {
+	if coreN <= coreM || coreN > n {
+		return nil, fmt.Errorf("gen: CoreWhisker needs coreM < coreN <= n, got coreM=%d coreN=%d n=%d", coreM, coreN, n)
+	}
+	core, err := BarabasiAlbertUndirected(coreN, coreM, src)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range core.Edges() {
+		if err := b.AddEdge(e.From, e.To); err != nil {
+			return nil, err
+		}
+	}
+	// Whisker vertices attach in short chains to randomly chosen existing
+	// vertices, producing the tree-like periphery.
+	for v := coreN; v < n; v++ {
+		parent := graph.VertexID(src.Intn(v))
+		if err := b.AddUndirected(graph.VertexID(v), parent); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// ScaleFreeDirected generates a directed scale-free graph with approximately
+// m edges over n vertices where both in- and out-degree follow a power law.
+// It is used for the Wiki-Vote, com-Youtube and soc-Pokec surrogates: edges
+// are drawn by sampling endpoints from Zipf-like weights so that a small
+// number of vertices acquire very high degree, matching the Δ+ / Δ− skew in
+// Table 3.
+func ScaleFreeDirected(n, m int, exponent float64, src rng.Source) (*graph.Graph, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("gen: ScaleFreeDirected needs n > 1, got %d", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("gen: ScaleFreeDirected needs m >= 0, got %d", m)
+	}
+	if exponent <= 0 {
+		return nil, fmt.Errorf("gen: ScaleFreeDirected needs exponent > 0, got %v", exponent)
+	}
+	// Build a cumulative Zipf weight table over ranks 1..n; the i-th vertex
+	// gets weight (i+1)^-exponent. Two independent random permutations decide
+	// which vertex receives which rank for in- and out-degree so hubs differ.
+	weights := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), exponent)
+		weights[i] = w
+		total += w
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc / total
+	}
+	permOut := randomPermutation(n, src)
+	permIn := randomPermutation(n, src)
+	sample := func(perm []graph.VertexID) graph.VertexID {
+		x := src.Float64()
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return perm[lo]
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]struct{}, m)
+	attempts := 0
+	maxAttempts := 20*m + 1000
+	for b.NumEdges() < m && attempts < maxAttempts {
+		attempts++
+		u := sample(permOut)
+		v := sample(permIn)
+		if u == v {
+			continue
+		}
+		key := int64(u)<<32 | int64(uint32(v))
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+func randomPermutation(n int, src rng.Source) []graph.VertexID {
+	p := make([]graph.VertexID, n)
+	for i := range p {
+		p[i] = graph.VertexID(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

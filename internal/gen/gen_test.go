@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"testing"
+
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+func src(seed uint64) rng.Source { return rng.NewXoshiro(seed) }
+
+func TestBarabasiAlbertSparse(t *testing.T) {
+	g, err := BarabasiAlbert(1000, 1, src(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Errorf("n = %d, want 1000", g.NumVertices())
+	}
+	// m=1: seed clique contributes 0 edges for m+1=2 vertices (1 edge), then
+	// n-m-1 vertices each add 1 edge: total = 1 + 998 = 999, matching BA_s.
+	if g.NumEdges() != 999 {
+		t.Errorf("m = %d, want 999 (BA_s)", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertDense(t *testing.T) {
+	g, err := BarabasiAlbert(1000, 11, src(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Errorf("n = %d, want 1000", g.NumVertices())
+	}
+	// Seed clique of 12 vertices has 66 edges; remaining 988 vertices add 11
+	// each: 66 + 10868 = 10934, close to the paper's 10,879 for BA_d (the
+	// paper's generator differs slightly in seeding).
+	if g.NumEdges() < 10000 || g.NumEdges() > 11500 {
+		t.Errorf("m = %d, want approx 10,879 (BA_d)", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertScaleFreeSkew(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 2, src(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment must produce hubs: the maximum total degree
+	// should far exceed the average degree (2m = 4).
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.OutDegree(graph.VertexID(v)) + g.InDegree(graph.VertexID(v))
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 20 {
+		t.Errorf("max total degree = %d, expected a hub with degree >> 4", maxDeg)
+	}
+}
+
+func TestBarabasiAlbertArgumentValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(0, 1, src(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, src(1)); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 10, src(1)); err == nil {
+		t.Error("m=n accepted")
+	}
+}
+
+func TestBarabasiAlbertReproducible(t *testing.T) {
+	a, err := BarabasiAlbert(500, 2, src(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(500, 2, src(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed produced different edge %d: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestBarabasiAlbertUndirected(t *testing.T) {
+	g, err := BarabasiAlbertUndirected(300, 2, src(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if !g.HasEdge(e.To, e.From) {
+			t.Fatalf("edge (%d,%d) has no reverse arc", e.From, e.To)
+		}
+	}
+	if g.NumEdges()%2 != 0 {
+		t.Errorf("undirected graph has odd arc count %d", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiGNM(t *testing.T) {
+	g, err := ErdosRenyiGNM(100, 500, src(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 || g.NumEdges() != 500 {
+		t.Errorf("size = (%d,%d), want (100,500)", g.NumVertices(), g.NumEdges())
+	}
+	// No self loops and no duplicate edges.
+	seen := make(map[graph.Edge]bool)
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			t.Errorf("self loop %v", e)
+		}
+		if seen[e] {
+			t.Errorf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestErdosRenyiGNMValidation(t *testing.T) {
+	if _, err := ErdosRenyiGNM(0, 1, src(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ErdosRenyiGNM(3, 100, src(1)); err == nil {
+		t.Error("m > n(n-1) accepted")
+	}
+	if _, err := ErdosRenyiGNM(3, -1, src(1)); err == nil {
+		t.Error("negative m accepted")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g, err := WattsStrogatz(200, 4, 0.1, src(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 200 {
+		t.Errorf("n = %d, want 200", g.NumVertices())
+	}
+	// The ring lattice has n*k/2 = 400 undirected edges = 800 arcs; rewiring
+	// preserves the count.
+	if g.NumEdges() != 800 {
+		t.Errorf("arcs = %d, want 800", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	if _, err := WattsStrogatz(10, 3, 0.1, src(1)); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 4, 1.5, src(1)); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+	if _, err := WattsStrogatz(0, 4, 0.5, src(1)); err == nil {
+		t.Error("n = 0 accepted")
+	}
+}
+
+func TestCoreWhisker(t *testing.T) {
+	g, err := CoreWhisker(1000, 300, 3, src(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Errorf("n = %d, want 1000", g.NumVertices())
+	}
+	// The whole graph must be weakly connected: whiskers attach to existing
+	// vertices and the BA core is connected.
+	if got := graph.LargestComponentSize(g); got != 1000 {
+		t.Errorf("largest component = %d, want 1000", got)
+	}
+}
+
+func TestCoreWhiskerValidation(t *testing.T) {
+	if _, err := CoreWhisker(100, 200, 3, src(1)); err == nil {
+		t.Error("coreN > n accepted")
+	}
+	if _, err := CoreWhisker(100, 3, 3, src(1)); err == nil {
+		t.Error("coreN <= coreM accepted")
+	}
+}
+
+func TestScaleFreeDirected(t *testing.T) {
+	g, err := ScaleFreeDirected(2000, 20000, 1.0, src(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Errorf("n = %d, want 2000", g.NumVertices())
+	}
+	if g.NumEdges() < 18000 {
+		t.Errorf("m = %d, want close to 20000", g.NumEdges())
+	}
+	// Degree skew: the maximum in-degree should be far above the mean (~10).
+	if g.MaxInDegree() < 50 {
+		t.Errorf("MaxInDegree = %d, expected heavy skew", g.MaxInDegree())
+	}
+}
+
+func TestScaleFreeDirectedValidation(t *testing.T) {
+	if _, err := ScaleFreeDirected(1, 5, 1, src(1)); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ScaleFreeDirected(10, -1, 1, src(1)); err == nil {
+		t.Error("m=-1 accepted")
+	}
+	if _, err := ScaleFreeDirected(10, 5, 0, src(1)); err == nil {
+		t.Error("exponent=0 accepted")
+	}
+}

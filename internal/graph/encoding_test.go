@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1 2
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("parsed graph has n=%d m=%d, want 3,3", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(2, 0) {
+		t.Error("parsed graph missing expected edges")
+	}
+}
+
+func TestReadEdgeListCompactsIDs(t *testing.T) {
+	in := "100 200\n200 300\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3 (ids compacted)", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	cases := []string{
+		"0\n",
+		"a b\n",
+		"0 x\n",
+		"-1 2\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); !errors.Is(err, ErrMalformedEdgeList) {
+			t.Errorf("input %q: err = %v, want ErrMalformedEdgeList", in, err)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := smallTestGraph(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: got (%d,%d), want (%d,%d)",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.From, e.To) {
+			t.Errorf("round trip lost edge %v", e)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty input produced n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}

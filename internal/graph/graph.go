@@ -1,0 +1,213 @@
+// Package graph provides the directed-graph substrate used by every other
+// package in imdist: compressed sparse row (CSR) adjacency in both the
+// forward and reverse direction, influence graphs carrying per-edge
+// propagation probabilities, builders, text encoding, and the structural
+// statistics reported in Table 3 of the paper.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex; vertices are numbered 0..N-1.
+type VertexID = int32
+
+// Edge is a directed edge from From to To.
+type Edge struct {
+	From VertexID
+	To   VertexID
+}
+
+// Graph is an immutable directed graph stored in compressed sparse row form
+// for both outgoing and incoming adjacency. The zero value is an empty graph.
+type Graph struct {
+	n int
+
+	// Forward CSR: outgoing neighbours of v are outAdj[outIdx[v]:outIdx[v+1]].
+	outIdx []int32
+	outAdj []VertexID
+
+	// Reverse CSR: incoming neighbours of v are inAdj[inIdx[v]:inIdx[v+1]].
+	inIdx []int32
+	inAdj []VertexID
+}
+
+// ErrVertexRange reports an edge endpoint outside [0, n).
+var ErrVertexRange = errors.New("graph: vertex out of range")
+
+// NumVertices returns the number of vertices n.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges m.
+func (g *Graph) NumEdges() int { return len(g.outAdj) }
+
+// OutNeighbors returns the outgoing neighbours of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outAdj[g.outIdx[v]:g.outIdx[v+1]]
+}
+
+// InNeighbors returns the incoming neighbours of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inAdj[g.inIdx[v]:g.inIdx[v+1]]
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int { return int(g.outIdx[v+1] - g.outIdx[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int { return int(g.inIdx[v+1] - g.inIdx[v]) }
+
+// Edges returns all directed edges in forward-CSR order. The slice is freshly
+// allocated and owned by the caller.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			edges = append(edges, Edge{From: VertexID(v), To: w})
+		}
+	}
+	return edges
+}
+
+// Transpose returns a new graph with every edge reversed.
+func (g *Graph) Transpose() *Graph {
+	t := &Graph{
+		n:      g.n,
+		outIdx: append([]int32(nil), g.inIdx...),
+		outAdj: append([]VertexID(nil), g.inAdj...),
+		inIdx:  append([]int32(nil), g.outIdx...),
+		inAdj:  append([]VertexID(nil), g.outAdj...),
+	}
+	return t
+}
+
+// String returns a short description of the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.NumVertices(), g.NumEdges())
+}
+
+// Builder accumulates directed edges and produces an immutable Graph.
+// A Builder may be reused after calling Build.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NumVertices returns the declared number of vertices.
+func (b *Builder) NumVertices() int { return b.n }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddEdge appends the directed edge (from, to). It returns ErrVertexRange if
+// either endpoint is outside [0, n). Self-loops and parallel edges are kept;
+// callers that need simple graphs should deduplicate before building.
+func (b *Builder) AddEdge(from, to VertexID) error {
+	if from < 0 || int(from) >= b.n || to < 0 || int(to) >= b.n {
+		return fmt.Errorf("%w: edge (%d,%d) with n=%d", ErrVertexRange, from, to, b.n)
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to})
+	return nil
+}
+
+// AddUndirected appends both (u,v) and (v,u).
+func (b *Builder) AddUndirected(u, v VertexID) error {
+	if err := b.AddEdge(u, v); err != nil {
+		return err
+	}
+	return b.AddEdge(v, u)
+}
+
+// Build constructs the immutable CSR graph from the accumulated edges.
+func (b *Builder) Build() *Graph {
+	return fromEdges(b.n, b.edges)
+}
+
+// FromEdges constructs a graph with n vertices from the given edge list.
+// It returns an error if any endpoint is out of range.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", ErrVertexRange, e.From, e.To, n)
+		}
+	}
+	return fromEdges(n, edges), nil
+}
+
+// fromEdges builds both CSR directions by counting sort; edges are assumed
+// validated.
+func fromEdges(n int, edges []Edge) *Graph {
+	g := &Graph{
+		n:      n,
+		outIdx: make([]int32, n+1),
+		outAdj: make([]VertexID, len(edges)),
+		inIdx:  make([]int32, n+1),
+		inAdj:  make([]VertexID, len(edges)),
+	}
+	for _, e := range edges {
+		g.outIdx[e.From+1]++
+		g.inIdx[e.To+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outIdx[v+1] += g.outIdx[v]
+		g.inIdx[v+1] += g.inIdx[v]
+	}
+	outPos := make([]int32, n)
+	inPos := make([]int32, n)
+	for _, e := range edges {
+		g.outAdj[g.outIdx[e.From]+outPos[e.From]] = e.To
+		outPos[e.From]++
+		g.inAdj[g.inIdx[e.To]+inPos[e.To]] = e.From
+		inPos[e.To]++
+	}
+	// Sort each adjacency run for deterministic iteration order and fast
+	// membership queries.
+	for v := 0; v < n; v++ {
+		sortVertexRun(g.outAdj[g.outIdx[v]:g.outIdx[v+1]])
+		sortVertexRun(g.inAdj[g.inIdx[v]:g.inIdx[v+1]])
+	}
+	return g
+}
+
+func sortVertexRun(run []VertexID) {
+	sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+}
+
+// HasEdge reports whether the directed edge (from, to) exists.
+func (g *Graph) HasEdge(from, to VertexID) bool {
+	run := g.OutNeighbors(from)
+	i := sort.Search(len(run), func(i int) bool { return run[i] >= to })
+	return i < len(run) && run[i] == to
+}
+
+// MaxOutDegree returns the maximum out-degree over all vertices (0 for an
+// empty graph).
+func (g *Graph) MaxOutDegree() int {
+	best := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.OutDegree(VertexID(v)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MaxInDegree returns the maximum in-degree over all vertices.
+func (g *Graph) MaxInDegree() int {
+	best := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.InDegree(VertexID(v)); d > best {
+			best = d
+		}
+	}
+	return best
+}

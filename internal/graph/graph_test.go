@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// smallTestGraph returns the directed graph
+//
+//	0 -> 1, 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0
+func smallTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	for _, e := range [][2]VertexID{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasicCounts(t *testing.T) {
+	g := smallTestGraph(t)
+	if g.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 5 {
+		t.Errorf("NumEdges = %d, want 5", g.NumEdges())
+	}
+}
+
+func TestOutInNeighbors(t *testing.T) {
+	g := smallTestGraph(t)
+	out := g.OutNeighbors(0)
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Errorf("OutNeighbors(0) = %v, want [1 2]", out)
+	}
+	in := g.InNeighbors(2)
+	if len(in) != 2 || in[0] != 0 || in[1] != 1 {
+		t.Errorf("InNeighbors(2) = %v, want [0 1]", in)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Errorf("degrees of 0 = (%d,%d), want (2,1)", g.OutDegree(0), g.InDegree(0))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := smallTestGraph(t)
+	cases := []struct {
+		from, to VertexID
+		want     bool
+	}{
+		{0, 1, true}, {0, 2, true}, {1, 2, true}, {2, 3, true}, {3, 0, true},
+		{1, 0, false}, {2, 0, false}, {3, 2, false}, {0, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.from, c.to); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestTransposeReversesEdges(t *testing.T) {
+	g := smallTestGraph(t)
+	tr := g.Transpose()
+	if tr.NumEdges() != g.NumEdges() || tr.NumVertices() != g.NumVertices() {
+		t.Fatalf("transpose changed size: %v vs %v", tr, g)
+	}
+	for _, e := range g.Edges() {
+		if !tr.HasEdge(e.To, e.From) {
+			t.Errorf("transpose missing edge (%d,%d)", e.To, e.From)
+		}
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(rawEdges []uint16, rawN uint8) bool {
+		n := int(rawN%30) + 1
+		b := NewBuilder(n)
+		for _, r := range rawEdges {
+			from := VertexID(int(r>>8) % n)
+			to := VertexID(int(r&0xff) % n)
+			if err := b.AddEdge(from, to); err != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		tt := g.Transpose().Transpose()
+		if tt.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, c := g.OutNeighbors(VertexID(v)), tt.OutNeighbors(VertexID(v))
+			if len(a) != len(c) {
+				return false
+			}
+			for i := range a {
+				if a[i] != c[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeSumEqualsEdges(t *testing.T) {
+	f := func(rawEdges []uint16, rawN uint8) bool {
+		n := int(rawN%40) + 1
+		b := NewBuilder(n)
+		for _, r := range rawEdges {
+			_ = b.AddEdge(VertexID(int(r>>8)%n), VertexID(int(r&0xff)%n))
+		}
+		g := b.Build()
+		sumOut, sumIn := 0, 0
+		for v := 0; v < n; v++ {
+			sumOut += g.OutDegree(VertexID(v))
+			sumIn += g.InDegree(VertexID(v))
+		}
+		return sumOut == g.NumEdges() && sumIn == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddEdgeOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 3); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("AddEdge(0,3) error = %v, want ErrVertexRange", err)
+	}
+	if err := b.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("AddEdge(-1,0) error = %v, want ErrVertexRange", err)
+	}
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	_, err := FromEdges(2, []Edge{{0, 5}})
+	if !errors.Is(err, ErrVertexRange) {
+		t.Errorf("FromEdges with bad edge: err = %v, want ErrVertexRange", err)
+	}
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil || g.NumEdges() != 2 {
+		t.Errorf("FromEdges valid: g=%v err=%v", g, err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph has n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	s := ComputeStats(g, 8)
+	if s.Vertices != 0 || s.Edges != 0 {
+		t.Errorf("stats of empty graph: %+v", s)
+	}
+}
+
+func TestAddUndirected(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddUndirected(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("AddUndirected did not create both directions")
+	}
+}
+
+func TestMaxDegrees(t *testing.T) {
+	g := smallTestGraph(t)
+	if g.MaxOutDegree() != 2 {
+		t.Errorf("MaxOutDegree = %d, want 2", g.MaxOutDegree())
+	}
+	if g.MaxInDegree() != 2 {
+		t.Errorf("MaxInDegree = %d, want 2", g.MaxInDegree())
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := smallTestGraph(t)
+	edges := g.Edges()
+	g2, err := FromEdges(g.NumVertices(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed edge count: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for _, e := range edges {
+		if !g2.HasEdge(e.From, e.To) {
+			t.Errorf("round trip lost edge %v", e)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	g := smallTestGraph(t)
+	if got := g.String(); got != "Graph(n=4, m=5)" {
+		t.Errorf("String() = %q", got)
+	}
+}

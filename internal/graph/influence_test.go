@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewInfluenceGraphUniform(t *testing.T) {
+	g := smallTestGraph(t)
+	ig, err := NewInfluenceGraph(g, func(_, _ VertexID) float64 { return 0.1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ig.SumProbabilities()-0.5) > 1e-12 {
+		t.Errorf("SumProbabilities = %v, want 0.5", ig.SumProbabilities())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, p := range ig.OutProbabilities(VertexID(v)) {
+			if p != 0.1 {
+				t.Fatalf("out probability = %v, want 0.1", p)
+			}
+		}
+		for _, p := range ig.InProbabilities(VertexID(v)) {
+			if p != 0.1 {
+				t.Fatalf("in probability = %v, want 0.1", p)
+			}
+		}
+	}
+}
+
+func TestInfluenceGraphForwardReverseConsistency(t *testing.T) {
+	g := smallTestGraph(t)
+	// Probability encodes the edge identity so the reverse mirror can be
+	// checked exactly: p(u,v) = (u*10 + v + 1) / 100.
+	ig, err := NewInfluenceGraph(g, func(u, v VertexID) float64 {
+		return float64(u*10+v+1) / 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < g.NumVertices(); w++ {
+		ins := g.InNeighbors(VertexID(w))
+		probs := ig.InProbabilities(VertexID(w))
+		for i, u := range ins {
+			want := float64(u*10+VertexID(w)+1) / 100
+			if math.Abs(probs[i]-want) > 1e-12 {
+				t.Errorf("in-prob of edge (%d,%d) = %v, want %v", u, w, probs[i], want)
+			}
+		}
+	}
+}
+
+func TestInfluenceGraphRejectsBadProbability(t *testing.T) {
+	g := smallTestGraph(t)
+	for _, bad := range []float64{0, -0.5, 1.5, math.NaN()} {
+		_, err := NewInfluenceGraph(g, func(_, _ VertexID) float64 { return bad })
+		if !errors.Is(err, ErrProbabilityRange) {
+			t.Errorf("probability %v: err = %v, want ErrProbabilityRange", bad, err)
+		}
+	}
+}
+
+func TestInfluenceGraphTranspose(t *testing.T) {
+	g := smallTestGraph(t)
+	ig, err := NewInfluenceGraph(g, func(u, v Vertex64) float64 {
+		return float64(u*10+v+1) / 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ig.Transpose()
+	if tr.NumEdges() != ig.NumEdges() {
+		t.Fatalf("transpose changed edge count")
+	}
+	if math.Abs(tr.SumProbabilities()-ig.SumProbabilities()) > 1e-12 {
+		t.Errorf("transpose changed total probability: %v vs %v", tr.SumProbabilities(), ig.SumProbabilities())
+	}
+	// Edge (u,v) with p must appear as (v,u) with p in the transpose.
+	for v := 0; v < g.NumVertices(); v++ {
+		outs := g.OutNeighbors(VertexID(v))
+		probs := ig.OutProbabilities(VertexID(v))
+		for i, w := range outs {
+			trOuts := tr.OutNeighbors(w)
+			trProbs := tr.OutProbabilities(w)
+			found := false
+			for j, x := range trOuts {
+				if x == VertexID(v) && math.Abs(trProbs[j]-probs[i]) < 1e-12 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("transpose missing edge (%d,%d) with p=%v", w, v, probs[i])
+			}
+		}
+	}
+}
+
+// Vertex64 is a local alias to exercise that VertexID is an alias type usable
+// interchangeably with int32 in callbacks.
+type Vertex64 = VertexID
+
+func TestInfluenceGraphString(t *testing.T) {
+	g := smallTestGraph(t)
+	ig, err := NewInfluenceGraph(g, func(_, _ VertexID) float64 { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig.String() == "" {
+		t.Error("String() returned empty")
+	}
+}

@@ -1,0 +1,244 @@
+package graph
+
+// Stats holds the structural statistics of a network as reported in Table 3
+// of the paper: size, maximum degrees, the (undirected) clustering
+// coefficient, and the average shortest-path distance.
+type Stats struct {
+	Vertices              int
+	Edges                 int
+	MaxOutDegree          int
+	MaxInDegree           int
+	ClusteringCoefficient float64
+	AverageDistance       float64
+	// AverageDistanceExact reports whether AverageDistance was computed over
+	// all pairs (small graphs) or estimated from sampled sources.
+	AverageDistanceExact bool
+}
+
+// ComputeStats computes the Table-3 statistics of g. For graphs with more
+// than sampleThreshold vertices the average distance is estimated from
+// distanceSamples breadth-first searches from evenly spaced sources, and the
+// clustering coefficient is computed over a vertex sample of the same size;
+// both are flagged via AverageDistanceExact.
+func ComputeStats(g *Graph, distanceSamples int) Stats {
+	const sampleThreshold = 4096
+	s := Stats{
+		Vertices:     g.NumVertices(),
+		Edges:        g.NumEdges(),
+		MaxOutDegree: g.MaxOutDegree(),
+		MaxInDegree:  g.MaxInDegree(),
+	}
+	if g.NumVertices() == 0 {
+		s.AverageDistanceExact = true
+		return s
+	}
+	exact := g.NumVertices() <= sampleThreshold
+	s.AverageDistanceExact = exact
+
+	und := undirectedAdjacency(g)
+
+	if exact {
+		s.ClusteringCoefficient = globalClustering(und, nil)
+		s.AverageDistance = averageDistance(und, allVertices(g.NumVertices()))
+	} else {
+		if distanceSamples <= 0 {
+			distanceSamples = 64
+		}
+		sources := sampleVertices(g.NumVertices(), distanceSamples)
+		s.ClusteringCoefficient = globalClustering(und, sources)
+		s.AverageDistance = averageDistance(und, sources)
+	}
+	return s
+}
+
+// undirectedAdjacency builds a deduplicated undirected adjacency list from
+// the directed graph, ignoring self-loops. Table 3's clustering coefficient
+// and average distance are defined on the underlying undirected graph.
+func undirectedAdjacency(g *Graph) [][]VertexID {
+	n := g.NumVertices()
+	adj := make([][]VertexID, n)
+	seen := make(map[int64]struct{}, g.NumEdges())
+	add := func(u, v VertexID) {
+		if u == v {
+			return
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		key := int64(a)<<32 | int64(uint32(b))
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			add(VertexID(v), w)
+		}
+	}
+	return adj
+}
+
+func allVertices(n int) []VertexID {
+	vs := make([]VertexID, n)
+	for i := range vs {
+		vs[i] = VertexID(i)
+	}
+	return vs
+}
+
+// sampleVertices returns k evenly spaced vertex ids in [0, n).
+func sampleVertices(n, k int) []VertexID {
+	if k >= n {
+		return allVertices(n)
+	}
+	vs := make([]VertexID, 0, k)
+	step := float64(n) / float64(k)
+	for i := 0; i < k; i++ {
+		vs = append(vs, VertexID(float64(i)*step))
+	}
+	return vs
+}
+
+// globalClustering computes the mean local clustering coefficient over the
+// given vertices (all vertices when sample is nil) on the undirected graph.
+func globalClustering(adj [][]VertexID, sample []VertexID) float64 {
+	if sample == nil {
+		sample = allVertices(len(adj))
+	}
+	if len(sample) == 0 {
+		return 0
+	}
+	neighborSets := make([]map[VertexID]struct{}, len(adj))
+	set := func(v VertexID) map[VertexID]struct{} {
+		if neighborSets[v] == nil {
+			m := make(map[VertexID]struct{}, len(adj[v]))
+			for _, w := range adj[v] {
+				m[w] = struct{}{}
+			}
+			neighborSets[v] = m
+		}
+		return neighborSets[v]
+	}
+	total := 0.0
+	counted := 0
+	for _, v := range sample {
+		d := len(adj[v])
+		if d < 2 {
+			counted++
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			si := set(adj[v][i])
+			for j := i + 1; j < d; j++ {
+				if _, ok := si[adj[v][j]]; ok {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// averageDistance returns the mean shortest-path distance from the given
+// sources to all vertices reachable from them in the undirected graph.
+func averageDistance(adj [][]VertexID, sources []VertexID) float64 {
+	n := len(adj)
+	if n == 0 || len(sources) == 0 {
+		return 0
+	}
+	dist := make([]int32, n)
+	queue := make([]VertexID, 0, n)
+	var sum float64
+	var pairs int
+	for _, s := range sources {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+					sum += float64(dist[w])
+					pairs++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}
+
+// WeaklyConnectedComponents returns, for each vertex, the id of its weakly
+// connected component, together with the number of components. Component ids
+// are assigned in order of discovery starting from vertex 0.
+func WeaklyConnectedComponents(g *Graph) (comp []int32, count int) {
+	n := g.NumVertices()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]VertexID, 0, n)
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[start] = id
+		queue = queue[:0]
+		queue = append(queue, VertexID(start))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.OutNeighbors(v) {
+				if comp[w] < 0 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range g.InNeighbors(v) {
+				if comp[w] < 0 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestComponentSize returns the number of vertices in the largest weakly
+// connected component of g.
+func LargestComponentSize(g *Graph) int {
+	comp, count := WeaklyConnectedComponents(g)
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for _, s := range sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}

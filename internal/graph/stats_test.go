@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// triangleGraph returns an undirected triangle as a directed graph (6 arcs).
+func triangleGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	for _, e := range [][2]VertexID{{0, 1}, {1, 2}, {0, 2}} {
+		if err := b.AddUndirected(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestStatsTriangle(t *testing.T) {
+	g := triangleGraph(t)
+	s := ComputeStats(g, 0)
+	if s.Vertices != 3 || s.Edges != 6 {
+		t.Errorf("size = (%d,%d), want (3,6)", s.Vertices, s.Edges)
+	}
+	if math.Abs(s.ClusteringCoefficient-1.0) > 1e-12 {
+		t.Errorf("clustering coefficient = %v, want 1", s.ClusteringCoefficient)
+	}
+	if math.Abs(s.AverageDistance-1.0) > 1e-12 {
+		t.Errorf("average distance = %v, want 1", s.AverageDistance)
+	}
+	if !s.AverageDistanceExact {
+		t.Error("small graph should compute exact average distance")
+	}
+}
+
+func TestStatsPath(t *testing.T) {
+	// Path 0-1-2 (undirected): no triangles, average distance over ordered
+	// reachable pairs = (1+2+1+1+1+2)/6 = 4/3.
+	b := NewBuilder(3)
+	if err := b.AddUndirected(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddUndirected(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	s := ComputeStats(g, 0)
+	if s.ClusteringCoefficient != 0 {
+		t.Errorf("clustering coefficient = %v, want 0", s.ClusteringCoefficient)
+	}
+	if math.Abs(s.AverageDistance-4.0/3.0) > 1e-12 {
+		t.Errorf("average distance = %v, want 4/3", s.AverageDistance)
+	}
+}
+
+func TestStatsMaxDegrees(t *testing.T) {
+	// Star with centre 0 and 4 leaves, directed out from the centre.
+	b := NewBuilder(5)
+	for i := VertexID(1); i <= 4; i++ {
+		if err := b.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	s := ComputeStats(g, 0)
+	if s.MaxOutDegree != 4 || s.MaxInDegree != 1 {
+		t.Errorf("max degrees = (%d,%d), want (4,1)", s.MaxOutDegree, s.MaxInDegree)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} connected via directed edges, {3,4} connected,
+	// vertex 5 isolated.
+	b := NewBuilder(6)
+	mustAdd := func(u, v VertexID) {
+		if err := b.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1)
+	mustAdd(2, 1) // weak connectivity through shared head
+	mustAdd(3, 4)
+	g := b.Build()
+	comp, count := WeaklyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("component count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("vertices 0,1,2 not in one component: %v", comp[:3])
+	}
+	if comp[3] != comp[4] {
+		t.Errorf("vertices 3,4 not in one component: %v", comp[3:5])
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Errorf("vertex 5 should be isolated: %v", comp)
+	}
+	if LargestComponentSize(g) != 3 {
+		t.Errorf("LargestComponentSize = %d, want 3", LargestComponentSize(g))
+	}
+}
+
+func TestSampledStatsOnLargerGraph(t *testing.T) {
+	// A cycle with 5000 vertices exceeds the exact threshold, so the average
+	// distance is estimated from samples; it should still be positive and the
+	// clustering coefficient of a cycle is 0.
+	n := 5000
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if err := b.AddUndirected(VertexID(i), VertexID((i+1)%n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	s := ComputeStats(g, 16)
+	if s.AverageDistanceExact {
+		t.Error("large graph should use sampled average distance")
+	}
+	if s.AverageDistance <= 0 {
+		t.Errorf("sampled average distance = %v, want > 0", s.AverageDistance)
+	}
+	if s.ClusteringCoefficient != 0 {
+		t.Errorf("cycle clustering coefficient = %v, want 0", s.ClusteringCoefficient)
+	}
+}

@@ -1,0 +1,147 @@
+// Package greedy implements the simple greedy framework of Algorithm 3.1:
+// repeatedly add the vertex with the largest estimated (marginal) influence,
+// breaking ties by a random shuffle of the vertex order, until k seeds have
+// been selected. A CELF-style lazy variant is provided for monotone
+// submodular estimators (Snapshot and RIS).
+package greedy
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"imdist/internal/estimator"
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+// ErrInvalidSeedSize reports k outside [1, n].
+var ErrInvalidSeedSize = errors.New("greedy: seed size out of range")
+
+// Run executes Algorithm 3.1 on the given estimator: the order of vertices is
+// shuffled with src, then for each of the k iterations every not-yet-selected
+// vertex is evaluated with Estimate and the last vertex attaining the maximum
+// is committed with Update. It returns the selected seed set in selection
+// order.
+func Run(est estimator.Estimator, n, k int, src rng.Source) ([]graph.VertexID, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrInvalidSeedSize, k, n)
+	}
+	order := shuffledOrder(n, src)
+	selected := make([]bool, n)
+	seeds := make([]graph.VertexID, 0, k)
+
+	for len(seeds) < k {
+		best := graph.VertexID(-1)
+		bestVal := 0.0
+		for _, v := range order {
+			if selected[v] {
+				continue
+			}
+			val := est.Estimate(v)
+			// "last vertex with maximum (marginal) influence": ties go to the
+			// later vertex in the shuffled order, which randomizes tie-breaks.
+			if best < 0 || val >= bestVal {
+				best = v
+				bestVal = val
+			}
+		}
+		if best < 0 {
+			break // all vertices selected (cannot happen when k <= n)
+		}
+		est.Update(best)
+		selected[best] = true
+		seeds = append(seeds, best)
+	}
+	return seeds, nil
+}
+
+// RunLazy executes the CELF lazy-greedy optimization (Leskovec et al., the
+// Oneshot representative of Table 2) on a monotone submodular estimator: the
+// marginal gains computed in earlier iterations upper-bound the current ones,
+// so a vertex is re-evaluated only when it reaches the top of a max-heap.
+// The result is identical to Run for submodular estimators (Snapshot, RIS) up
+// to tie-breaking; using it with Oneshot sacrifices the guarantee because
+// Oneshot's estimates are not submodular.
+func RunLazy(est estimator.Estimator, n, k int, src rng.Source) ([]graph.VertexID, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrInvalidSeedSize, k, n)
+	}
+	order := shuffledOrder(n, src)
+	// rank[v] is the tie-break priority: later in the shuffled order wins, so
+	// the behaviour matches Run's "last vertex with maximum" rule.
+	rank := make([]int, n)
+	for i, v := range order {
+		rank[v] = i
+	}
+
+	pq := make(gainHeap, 0, n)
+	for _, v := range order {
+		pq = append(pq, gainEntry{vertex: v, gain: est.Estimate(v), round: 0, rank: rank[v]})
+	}
+	heap.Init(&pq)
+
+	seeds := make([]graph.VertexID, 0, k)
+	for len(seeds) < k && pq.Len() > 0 {
+		top := heap.Pop(&pq).(gainEntry)
+		if top.round == len(seeds) {
+			// The cached gain is current for this round: commit the vertex.
+			est.Update(top.vertex)
+			seeds = append(seeds, top.vertex)
+			continue
+		}
+		// Stale: re-evaluate against the current seed set and push back.
+		top.gain = est.Estimate(top.vertex)
+		top.round = len(seeds)
+		heap.Push(&pq, top)
+	}
+	if len(seeds) < k {
+		return seeds, fmt.Errorf("%w: exhausted candidates after %d seeds", ErrInvalidSeedSize, len(seeds))
+	}
+	return seeds, nil
+}
+
+// shuffledOrder returns a Fisher–Yates shuffle of 0..n-1 driven by src.
+func shuffledOrder(n int, src rng.Source) []graph.VertexID {
+	order := make([]graph.VertexID, n)
+	for i := range order {
+		order[i] = graph.VertexID(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// gainEntry is one candidate in the CELF priority queue.
+type gainEntry struct {
+	vertex graph.VertexID
+	gain   float64
+	round  int // the seed-set size the gain was computed against
+	rank   int // tie-break: higher rank (later in shuffled order) wins
+}
+
+// gainHeap is a max-heap over gain with rank as the tie-breaker.
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].rank > h[j].rank
+}
+
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *gainHeap) Push(x any) { *h = append(*h, x.(gainEntry)) }
+
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

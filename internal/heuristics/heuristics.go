@@ -1,0 +1,203 @@
+// Package heuristics provides the cheap seed-selection heuristics the paper
+// surveys in Section 3.6 ("Heuristics for Quick Guesses"): plain degree,
+// SingleDiscount, DegreeDiscount and PageRank. They are faster than the three
+// sampling approaches but yield less influential seeds; the reproduction uses
+// them as quality baselines in tests and examples.
+package heuristics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"imdist/internal/graph"
+)
+
+// ErrInvalidSeedSize reports k outside [1, n].
+var ErrInvalidSeedSize = errors.New("heuristics: seed size out of range")
+
+func validate(n, k int) error {
+	if k < 1 || k > n {
+		return fmt.Errorf("%w: k=%d, n=%d", ErrInvalidSeedSize, k, n)
+	}
+	return nil
+}
+
+// Degree returns the k vertices with the highest out-degree, breaking ties
+// toward the smaller vertex id.
+func Degree(g *graph.Graph, k int) ([]graph.VertexID, error) {
+	if err := validate(g.NumVertices(), k); err != nil {
+		return nil, err
+	}
+	type cand struct {
+		v graph.VertexID
+		d int
+	}
+	cands := make([]cand, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		cands[v] = cand{graph.VertexID(v), g.OutDegree(graph.VertexID(v))}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d > cands[j].d
+		}
+		return cands[i].v < cands[j].v
+	})
+	seeds := make([]graph.VertexID, k)
+	for i := 0; i < k; i++ {
+		seeds[i] = cands[i].v
+	}
+	return seeds, nil
+}
+
+// SingleDiscount selects seeds by out-degree, discounting one unit of degree
+// from every out-neighbour of a chosen seed (Chen et al. 2009).
+func SingleDiscount(g *graph.Graph, k int) ([]graph.VertexID, error) {
+	if err := validate(g.NumVertices(), k); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		score[v] = float64(g.OutDegree(graph.VertexID(v)))
+	}
+	return discountLoop(g, k, score, func(chosen graph.VertexID, neighbor graph.VertexID) {
+		score[neighbor]--
+	}), nil
+}
+
+// DegreeDiscount selects seeds with the IC-specific degree-discount score of
+// Chen et al. 2009: when a neighbour of v is selected, v's effective degree
+// shrinks according to the propagation probability p. The probability used is
+// the mean edge probability of the influence graph.
+func DegreeDiscount(ig *graph.InfluenceGraph, k int) ([]graph.VertexID, error) {
+	g := ig.Graph
+	if err := validate(g.NumVertices(), k); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	p := 0.0
+	if g.NumEdges() > 0 {
+		p = ig.SumProbabilities() / float64(g.NumEdges())
+	}
+	degree := make([]float64, n)
+	selectedNeighbors := make([]float64, n)
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		degree[v] = float64(g.OutDegree(graph.VertexID(v)))
+		score[v] = degree[v]
+	}
+	return discountLoop(g, k, score, func(_ graph.VertexID, neighbor graph.VertexID) {
+		selectedNeighbors[neighbor]++
+		t := selectedNeighbors[neighbor]
+		d := degree[neighbor]
+		score[neighbor] = d - 2*t - (d-t)*t*p
+	}), nil
+}
+
+// discountLoop repeatedly picks the highest-score unselected vertex and then
+// lets discount adjust the scores of its out-neighbours.
+func discountLoop(g *graph.Graph, k int, score []float64, discount func(chosen, neighbor graph.VertexID)) []graph.VertexID {
+	n := g.NumVertices()
+	selected := make([]bool, n)
+	seeds := make([]graph.VertexID, 0, k)
+	for len(seeds) < k {
+		best := -1
+		for v := 0; v < n; v++ {
+			if selected[v] {
+				continue
+			}
+			if best < 0 || score[v] > score[best] {
+				best = v
+			}
+		}
+		bv := graph.VertexID(best)
+		selected[best] = true
+		seeds = append(seeds, bv)
+		for _, w := range g.OutNeighbors(bv) {
+			if !selected[w] {
+				discount(bv, w)
+			}
+		}
+	}
+	return seeds
+}
+
+// PageRankOptions configures the PageRank seed heuristic.
+type PageRankOptions struct {
+	// Damping is the damping factor (default 0.85 when zero).
+	Damping float64
+	// Iterations is the number of power iterations (default 50 when zero).
+	Iterations int
+}
+
+// PageRank selects the k vertices with the highest PageRank computed on the
+// transposed graph (influence flows along edges, so a vertex that can reach
+// many others has high reverse PageRank), breaking ties toward the smaller
+// vertex id.
+func PageRank(g *graph.Graph, k int, opt PageRankOptions) ([]graph.VertexID, error) {
+	if err := validate(g.NumVertices(), k); err != nil {
+		return nil, err
+	}
+	damping := opt.Damping
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	iterations := opt.Iterations
+	if iterations <= 0 {
+		iterations = 50
+	}
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1.0 / float64(n)
+	}
+	for it := 0; it < iterations; it++ {
+		base := (1 - damping) / float64(n)
+		for v := range next {
+			next[v] = base
+		}
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			// Reverse PageRank: mass flows from v to its in-neighbours (the
+			// vertices that can influence v push importance backwards).
+			ins := g.InNeighbors(graph.VertexID(v))
+			if len(ins) == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := damping * rank[v] / float64(len(ins))
+			for _, u := range ins {
+				next[u] += share
+			}
+		}
+		if dangling > 0 {
+			spread := damping * dangling / float64(n)
+			for v := range next {
+				next[v] += spread
+			}
+		}
+		rank, next = next, rank
+	}
+	type cand struct {
+		v graph.VertexID
+		r float64
+	}
+	cands := make([]cand, n)
+	for v := 0; v < n; v++ {
+		cands[v] = cand{graph.VertexID(v), rank[v]}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if math.Abs(cands[i].r-cands[j].r) > 1e-15 {
+			return cands[i].r > cands[j].r
+		}
+		return cands[i].v < cands[j].v
+	})
+	seeds := make([]graph.VertexID, k)
+	for i := 0; i < k; i++ {
+		seeds[i] = cands[i].v
+	}
+	return seeds, nil
+}

@@ -1,0 +1,181 @@
+package heuristics
+
+import (
+	"errors"
+	"testing"
+
+	"imdist/internal/data"
+	"imdist/internal/graph"
+	"imdist/internal/workload"
+)
+
+// hubGraph returns a graph where vertex 0 has out-degree 5, vertex 1 has
+// out-degree 3, everything else has out-degree <= 1.
+func hubGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10)
+	for _, v := range []graph.VertexID{2, 3, 4, 5, 6} {
+		if err := b.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []graph.VertexID{7, 8, 9} {
+		if err := b.AddEdge(1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestDegreePicksHubs(t *testing.T) {
+	g := hubGraph(t)
+	seeds, err := Degree(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 || seeds[1] != 1 {
+		t.Errorf("Degree seeds = %v, want [0 1]", seeds)
+	}
+}
+
+func TestDegreeValidation(t *testing.T) {
+	g := hubGraph(t)
+	if _, err := Degree(g, 0); !errors.Is(err, ErrInvalidSeedSize) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := Degree(g, 99); !errors.Is(err, ErrInvalidSeedSize) {
+		t.Errorf("k>n err = %v", err)
+	}
+}
+
+func TestSingleDiscount(t *testing.T) {
+	g := hubGraph(t)
+	seeds, err := SingleDiscount(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 || seeds[1] != 1 {
+		t.Errorf("SingleDiscount seeds = %v, want hubs first", seeds)
+	}
+	if len(seeds) != 3 {
+		t.Errorf("got %d seeds, want 3", len(seeds))
+	}
+	if _, err := SingleDiscount(g, 0); !errors.Is(err, ErrInvalidSeedSize) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestDegreeDiscount(t *testing.T) {
+	g := hubGraph(t)
+	ig, err := workload.Assign(g, workload.UC01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := DegreeDiscount(ig, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 || seeds[1] != 1 {
+		t.Errorf("DegreeDiscount seeds = %v, want [0 1]", seeds)
+	}
+	if _, err := DegreeDiscount(ig, 0); !errors.Is(err, ErrInvalidSeedSize) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestDegreeDiscountDiscourgesAdjacentSeeds(t *testing.T) {
+	// Star + chain: 0 -> {1..5}; 1 -> {6,7}. With discounting, after picking
+	// 0 the score of 1 drops, but 1 still has the second-highest raw degree;
+	// the key assertion is that both returned seeds are distinct and valid.
+	b := graph.NewBuilder(8)
+	for v := 1; v <= 5; v++ {
+		if err := b.AddEdge(0, graph.VertexID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEdge(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	ig, err := workload.Assign(b.Build(), workload.UC01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := DegreeDiscount(ig, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Errorf("first seed = %d, want the hub 0", seeds[0])
+	}
+	if seeds[1] == seeds[0] {
+		t.Error("duplicate seeds")
+	}
+}
+
+func TestPageRankOnKarate(t *testing.T) {
+	g := data.Karate()
+	seeds, err := PageRank(g, 2, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classic Karate hubs are vertices 0 and 33; PageRank on the
+	// undirected network must surface at least one of them in the top 2.
+	foundHub := false
+	for _, s := range seeds {
+		if s == 0 || s == 33 {
+			foundHub = true
+		}
+	}
+	if !foundHub {
+		t.Errorf("PageRank top-2 = %v, expected to include vertex 0 or 33", seeds)
+	}
+}
+
+func TestPageRankValidationAndOptions(t *testing.T) {
+	g := hubGraph(t)
+	if _, err := PageRank(g, 0, PageRankOptions{}); !errors.Is(err, ErrInvalidSeedSize) {
+		t.Error("k=0 accepted")
+	}
+	// Out-of-range damping falls back to the default without error.
+	if _, err := PageRank(g, 1, PageRankOptions{Damping: 7, Iterations: 5}); err != nil {
+		t.Errorf("PageRank with odd options: %v", err)
+	}
+}
+
+func TestHeuristicsReturnDistinctSeeds(t *testing.T) {
+	g := data.Karate()
+	ig, err := workload.Assign(g, workload.IWC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, seeds []graph.VertexID, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen := map[graph.VertexID]bool{}
+		for _, s := range seeds {
+			if seen[s] {
+				t.Errorf("%s returned duplicate seed %d", name, s)
+			}
+			seen[s] = true
+		}
+		if len(seeds) != 5 {
+			t.Errorf("%s returned %d seeds, want 5", name, len(seeds))
+		}
+	}
+	s, err := Degree(g, 5)
+	check("Degree", s, err)
+	s, err = SingleDiscount(g, 5)
+	check("SingleDiscount", s, err)
+	s, err = DegreeDiscount(ig, 5)
+	check("DegreeDiscount", s, err)
+	s, err = PageRank(g, 5, PageRankOptions{})
+	check("PageRank", s, err)
+}

@@ -1,0 +1,73 @@
+package rng
+
+// MT19937 implements the 64-bit Mersenne Twister (MT19937-64) of Matsumoto
+// and Nishimura, the pseudorandom number generator the paper's reference
+// implementation uses. The generator has period 2^19937−1 and equidistribution
+// in 311 dimensions at 64-bit accuracy.
+type MT19937 struct {
+	state [nn]uint64
+	index int
+}
+
+const (
+	nn        = 312
+	mm        = 156
+	matrixA   = 0xB5026F5AA96619E9
+	upperMask = 0xFFFFFFFF80000000
+	lowerMask = 0x7FFFFFFF
+)
+
+// NewMT19937 returns a Mersenne Twister seeded with seed.
+func NewMT19937(seed uint64) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed reinitializes the generator state from the given seed, following the
+// reference initialization of MT19937-64.
+func (m *MT19937) Seed(seed uint64) {
+	m.state[0] = seed
+	for i := uint64(1); i < nn; i++ {
+		m.state[i] = 6364136223846793005*(m.state[i-1]^(m.state[i-1]>>62)) + i
+	}
+	m.index = nn
+}
+
+// Uint64 returns the next 64-bit output of the generator.
+func (m *MT19937) Uint64() uint64 {
+	if m.index >= nn {
+		m.generate()
+	}
+	x := m.state[m.index]
+	m.index++
+
+	x ^= (x >> 29) & 0x5555555555555555
+	x ^= (x << 17) & 0x71D67FFFEDA60000
+	x ^= (x << 37) & 0xFFF7EEE000000000
+	x ^= x >> 43
+	return x
+}
+
+// generate refills the state array with the next nn untempered words.
+func (m *MT19937) generate() {
+	var mag01 = [2]uint64{0, matrixA}
+	var i int
+	for i = 0; i < nn-mm; i++ {
+		x := (m.state[i] & upperMask) | (m.state[i+1] & lowerMask)
+		m.state[i] = m.state[i+mm] ^ (x >> 1) ^ mag01[x&1]
+	}
+	for ; i < nn-1; i++ {
+		x := (m.state[i] & upperMask) | (m.state[i+1] & lowerMask)
+		m.state[i] = m.state[i+mm-nn] ^ (x >> 1) ^ mag01[x&1]
+	}
+	x := (m.state[nn-1] & upperMask) | (m.state[0] & lowerMask)
+	m.state[nn-1] = m.state[mm-1] ^ (x >> 1) ^ mag01[x&1]
+	m.index = 0
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (m *MT19937) Float64() float64 { return float64FromUint64(m.Uint64()) }
+
+// Intn returns a uniformly distributed value in [0, n). It panics if n <= 0.
+func (m *MT19937) Intn(n int) int { return intnFromUint64(m.Uint64(), n) }

@@ -1,0 +1,211 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMT19937Reproducible(t *testing.T) {
+	a := NewMT19937(42)
+	b := NewMT19937(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: generators with equal seeds diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestMT19937KnownValues(t *testing.T) {
+	// Reference outputs of MT19937-64 seeded with 5489 (the canonical default
+	// seed of the reference implementation).
+	m := NewMT19937(5489)
+	want := []uint64{
+		14514284786278117030,
+		4620546740167642908,
+		13109570281517897720,
+		17462938647148434322,
+		355488278567739596,
+	}
+	for i, w := range want {
+		if got := m.Uint64(); got != w {
+			t.Fatalf("output %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroReproducible(t *testing.T) {
+	a := NewXoshiro(7)
+	b := NewXoshiro(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("step %d: xoshiro with equal seeds diverged", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	for _, alg := range []Algorithm{MersenneTwister, Xoshiro} {
+		a := New(alg, 1)
+		b := New(alg, 2)
+		same := 0
+		for i := 0; i < 100; i++ {
+			if a.Uint64() == b.Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("%v: %d/100 identical outputs for different seeds", alg, same)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	for _, alg := range []Algorithm{MersenneTwister, Xoshiro} {
+		s := New(alg, 99)
+		for i := 0; i < 10000; i++ {
+			f := s.Float64()
+			if f < 0 || f >= 1 {
+				t.Fatalf("%v: Float64 out of range: %v", alg, f)
+			}
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	for _, alg := range []Algorithm{MersenneTwister, Xoshiro} {
+		s := New(alg, 123)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += s.Float64()
+		}
+		mean := sum / n
+		if math.Abs(mean-0.5) > 0.01 {
+			t.Errorf("%v: mean of uniforms = %v, want approx 0.5", alg, mean)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewXoshiro(5)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn(10): value %d drawn %d times of 100000, expected near 10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewXoshiro(1).Intn(0)
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	a := Split(Xoshiro, 42, 0)
+	b := Split(Xoshiro, 42, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams share %d/1000 outputs", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := Split(MersenneTwister, 11, 3)
+	b := Split(MersenneTwister, 11, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split with equal parameters is not reproducible")
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if MersenneTwister.String() != "mt19937-64" {
+		t.Errorf("MersenneTwister.String() = %q", MersenneTwister.String())
+	}
+	if Xoshiro.String() != "xoshiro256**" {
+		t.Errorf("Xoshiro.String() = %q", Xoshiro.String())
+	}
+	if Algorithm(99).String() != "unknown" {
+		t.Errorf("unknown algorithm String() = %q", Algorithm(99).String())
+	}
+}
+
+func TestMul64MatchesBigMultiplication(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via 32-bit decomposition independently computed with math/bits-free arithmetic.
+		wantLo := a * b
+		if lo != wantLo {
+			return false
+		}
+		// Cross-check hi using float approximation only for magnitude sanity.
+		approx := float64(a) * float64(b) / math.Pow(2, 64)
+		return math.Abs(float64(hi)-approx) <= approx*1e-9+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnFromUint64Bounds(t *testing.T) {
+	f := func(u uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		v := intnFromUint64(u, nn)
+		return v >= 0 && v < nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := NewXoshiro(2024)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := NormFloat64(s)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want approx 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want approx 1", variance)
+	}
+}
+
+func BenchmarkMT19937Uint64(b *testing.B) {
+	s := NewMT19937(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	s := NewXoshiro(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}

@@ -1,0 +1,55 @@
+package rng
+
+// Xoshiro256 implements the xoshiro256** 1.0 generator of Blackman and Vigna.
+// It is substantially faster than the Mersenne Twister and passes stringent
+// statistical test batteries; the estimators use it by default for bulk
+// sampling while the Mersenne Twister remains available for strict fidelity
+// to the paper's setup.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro returns a xoshiro256** generator seeded with seed.
+func NewXoshiro(seed uint64) *Xoshiro256 {
+	x := &Xoshiro256{}
+	x.Seed(seed)
+	return x
+}
+
+// Seed reinitializes the generator state from the given seed by running
+// splitmix64, as recommended by the generator's authors.
+func (x *Xoshiro256) Seed(seed uint64) {
+	s := seed
+	for i := 0; i < 4; i++ {
+		s = splitmix64(s)
+		x.s[i] = s
+	}
+	// A state of all zeros is invalid; splitmix64 of any seed cannot yield
+	// four zero outputs in a row, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64-bit output of the generator.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+
+	return result
+}
+
+func rotl(v uint64, k uint) uint64 { return (v << k) | (v >> (64 - k)) }
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (x *Xoshiro256) Float64() float64 { return float64FromUint64(x.Uint64()) }
+
+// Intn returns a uniformly distributed value in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int { return intnFromUint64(x.Uint64(), n) }

@@ -1,0 +1,223 @@
+// Package stats provides the statistical machinery the paper's methodology
+// relies on: Shannon entropy of empirical set distributions (Section 5.1),
+// summary statistics and notched-box-plot quantities for influence
+// distributions (Section 5.2), and binomial confidence intervals for the
+// RR-set influence oracle.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return minOf(xs)
+	}
+	if p >= 100 {
+		return maxOf(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// BoxPlot holds the quantities drawn in the paper's notched box plots
+// (Figure 4's legend): quartiles, 1st/99th percentiles, mean, and the 95%
+// confidence interval of the median (the "notch").
+type BoxPlot struct {
+	Min          float64
+	Percentile1  float64
+	Percentile25 float64
+	Median       float64
+	Percentile75 float64
+	Percentile99 float64
+	Max          float64
+	Mean         float64
+	StdDev       float64
+	NotchLow     float64
+	NotchHigh    float64
+	N            int
+}
+
+// NewBoxPlot computes the notched box plot summary of xs.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	b := BoxPlot{
+		Min:          minOf(xs),
+		Percentile1:  Percentile(xs, 1),
+		Percentile25: Percentile(xs, 25),
+		Median:       Median(xs),
+		Percentile75: Percentile(xs, 75),
+		Percentile99: Percentile(xs, 99),
+		Max:          maxOf(xs),
+		Mean:         Mean(xs),
+		StdDev:       StdDev(xs),
+		N:            len(xs),
+	}
+	// Standard notch definition: median ± 1.57·IQR/sqrt(n).
+	iqr := b.Percentile75 - b.Percentile25
+	half := 1.57 * iqr / math.Sqrt(float64(len(xs)))
+	b.NotchLow = b.Median - half
+	b.NotchHigh = b.Median + half
+	return b
+}
+
+// Entropy returns the Shannon entropy, in bits, of an empirical distribution
+// given as a map from outcome key to occurrence count. A degenerate
+// (single-outcome) or empty distribution has entropy 0. With T trials the
+// entropy cannot exceed log2(T).
+func Entropy[K comparable](counts map[K]int) float64 {
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// MaxEntropy returns log2(trials), the maximum possible entropy of an
+// empirical distribution constructed from the given number of trials.
+func MaxEntropy(trials int) float64 {
+	if trials <= 1 {
+		return 0
+	}
+	return math.Log2(float64(trials))
+}
+
+// BinomialCI returns the normal-approximation confidence interval half-width
+// for a binomial proportion estimated from n trials at confidence z (e.g.
+// z = 2.576 for 99%). The paper uses this form to bound the RR-set oracle:
+// the 99% CI for Inf(S) is n·F(S) ± 1.29·n/sqrt(R) with z/2 = 1.29.
+func BinomialCI(p float64, n int, z float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	v := p * (1 - p)
+	if v < 0 {
+		v = 0
+	}
+	return z * math.Sqrt(v/float64(n))
+}
+
+// Histogram counts xs into nbins equal-width bins over [min, max]; values
+// outside the range are clamped to the boundary bins. It returns the bin
+// counts and the bin width. A non-positive nbins yields a single bin.
+func Histogram(xs []float64, min, max float64, nbins int) (counts []int, width float64) {
+	if nbins <= 0 {
+		nbins = 1
+	}
+	counts = make([]int, nbins)
+	if max <= min {
+		counts[0] = len(xs)
+		return counts, 0
+	}
+	width = (max - min) / float64(nbins)
+	for _, x := range xs {
+		idx := int((x - min) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		counts[idx]++
+	}
+	return counts, width
+}
+
+// GeometricLevels returns the sample numbers 2^0, 2^1, ..., 2^maxExp used by
+// the paper's sweeps ("the sample number was set to a power of two up to
+// 2^16 / 2^24").
+func GeometricLevels(maxExp int) []int {
+	if maxExp < 0 {
+		return nil
+	}
+	levels := make([]int, maxExp+1)
+	for i := 0; i <= maxExp; i++ {
+		levels[i] = 1 << uint(i)
+	}
+	return levels
+}

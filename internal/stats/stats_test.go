@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("empty/singleton statistics should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile of empty slice should be 0")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				r = 0
+			}
+			xs[i] = r
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	orig := append([]float64(nil), xs...)
+	_ = Percentile(xs, 50)
+	if !sort.Float64sAreSorted(orig) {
+		// orig was unsorted, assert xs still equals orig element-wise.
+		for i := range xs {
+			if xs[i] != orig[i] {
+				t.Fatal("Percentile mutated its input")
+			}
+		}
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	b := NewBoxPlot(xs)
+	if b.Min != 0 || b.Max != 100 {
+		t.Errorf("min/max = %v/%v", b.Min, b.Max)
+	}
+	if math.Abs(b.Median-50) > 1e-9 {
+		t.Errorf("median = %v, want 50", b.Median)
+	}
+	if math.Abs(b.Percentile25-25) > 1e-9 || math.Abs(b.Percentile75-75) > 1e-9 {
+		t.Errorf("quartiles = %v, %v", b.Percentile25, b.Percentile75)
+	}
+	if b.NotchLow >= b.Median || b.NotchHigh <= b.Median {
+		t.Errorf("notch [%v,%v] does not bracket median %v", b.NotchLow, b.NotchHigh, b.Median)
+	}
+	if b.N != 101 {
+		t.Errorf("N = %d, want 101", b.N)
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	b := NewBoxPlot(nil)
+	if b.N != 0 || b.Mean != 0 {
+		t.Errorf("empty box plot = %+v", b)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if got := Entropy(map[string]int{"a": 1000}); got != 0 {
+		t.Errorf("degenerate entropy = %v, want 0", got)
+	}
+	if got := Entropy(map[string]int{}); got != 0 {
+		t.Errorf("empty entropy = %v, want 0", got)
+	}
+}
+
+func TestEntropyUniform(t *testing.T) {
+	// 8 equally likely outcomes -> 3 bits.
+	counts := map[int]int{}
+	for i := 0; i < 8; i++ {
+		counts[i] = 125
+	}
+	if got := Entropy(counts); math.Abs(got-3) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want 3", got)
+	}
+}
+
+func TestEntropyBoundedByMaxEntropy(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := map[int]int{}
+		total := 0
+		for _, r := range raw {
+			counts[int(r%50)]++
+			total++
+		}
+		if total == 0 {
+			return Entropy(counts) == 0
+		}
+		h := Entropy(counts)
+		return h >= 0 && h <= MaxEntropy(total)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyIgnoresNonPositiveCounts(t *testing.T) {
+	h := Entropy(map[string]int{"a": 10, "b": 0, "c": -5, "d": 10})
+	if math.Abs(h-1) > 1e-12 {
+		t.Errorf("entropy with zero/negative counts = %v, want 1", h)
+	}
+}
+
+func TestMaxEntropy(t *testing.T) {
+	if MaxEntropy(1) != 0 || MaxEntropy(0) != 0 {
+		t.Error("MaxEntropy of <=1 trials should be 0")
+	}
+	if math.Abs(MaxEntropy(1000)-math.Log2(1000)) > 1e-12 {
+		t.Errorf("MaxEntropy(1000) = %v", MaxEntropy(1000))
+	}
+	// The paper: entropy from 10^3 trials never exceeds ~9.97 bits.
+	if MaxEntropy(1000) > 9.97 {
+		t.Errorf("MaxEntropy(1000) = %v, paper cites approx 9.97", MaxEntropy(1000))
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	// p=0.5, n=10^7, z=2.576: half width = 2.576*sqrt(0.25/1e7) ~ 4.07e-4.
+	got := BinomialCI(0.5, 1e7, 2.576)
+	want := 2.576 * math.Sqrt(0.25/1e7)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("BinomialCI = %v, want %v", got, want)
+	}
+	if BinomialCI(0.5, 0, 2.576) != 0 {
+		t.Error("BinomialCI with n=0 should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.5, 0.9, 1.0, 2.0, -1.0}
+	counts, width := Histogram(xs, 0, 1, 4)
+	if len(counts) != 4 {
+		t.Fatalf("bins = %d, want 4", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram total = %d, want %d", total, len(xs))
+	}
+	if math.Abs(width-0.25) > 1e-12 {
+		t.Errorf("width = %v, want 0.25", width)
+	}
+	// Degenerate range.
+	counts, width = Histogram(xs, 5, 5, 3)
+	if counts[0] != len(xs) || width != 0 {
+		t.Errorf("degenerate histogram = %v, width %v", counts, width)
+	}
+	// Non-positive bin count.
+	counts, _ = Histogram(xs, 0, 1, 0)
+	if len(counts) != 1 {
+		t.Errorf("nbins=0 should collapse to a single bin, got %d", len(counts))
+	}
+}
+
+func TestGeometricLevels(t *testing.T) {
+	levels := GeometricLevels(4)
+	want := []int{1, 2, 4, 8, 16}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("levels[%d] = %d, want %d", i, levels[i], want[i])
+		}
+	}
+	if GeometricLevels(-1) != nil {
+		t.Error("negative maxExp should yield nil")
+	}
+	// The paper's sweeps go up to 2^16 for Oneshot/Snapshot and 2^24 for RIS.
+	if got := GeometricLevels(24); got[len(got)-1] != 16777216 {
+		t.Errorf("2^24 level = %d, want 16777216", got[len(got)-1])
+	}
+}

@@ -1,0 +1,106 @@
+// Package workload assigns influence probabilities to graphs, implementing
+// the four edge-probability settings of Section 4.3 of the paper (uniform
+// cascade 0.1 and 0.01, in-degree weighted cascade, out-degree weighted
+// cascade) plus the trivalency model commonly used in follow-up work.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+// Model identifies an edge-probability assignment strategy.
+type Model int
+
+const (
+	// UC01 is the uniform cascade model with p(e) = 0.1 ("uc0.1").
+	UC01 Model = iota
+	// UC001 is the uniform cascade model with p(e) = 0.01 ("uc0.01").
+	UC001
+	// IWC is the in-degree weighted cascade: p(u,v) = 1/d⁻(v).
+	IWC
+	// OWC is the out-degree weighted cascade: p(u,v) = 1/d⁺(u).
+	OWC
+	// Trivalency assigns each edge one of {0.1, 0.01, 0.001} uniformly at
+	// random (an extension beyond the paper's four settings).
+	Trivalency
+)
+
+// ErrUnknownModel reports an unrecognised model name or value.
+var ErrUnknownModel = errors.New("workload: unknown probability model")
+
+// String returns the paper's abbreviation for the model.
+func (m Model) String() string {
+	switch m {
+	case UC01:
+		return "uc0.1"
+	case UC001:
+		return "uc0.01"
+	case IWC:
+		return "iwc"
+	case OWC:
+		return "owc"
+	case Trivalency:
+		return "tv"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseModel converts a model abbreviation ("uc0.1", "uc0.01", "iwc", "owc",
+// "tv") into a Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "uc0.1", "uc01":
+		return UC01, nil
+	case "uc0.01", "uc001":
+		return UC001, nil
+	case "iwc":
+		return IWC, nil
+	case "owc":
+		return OWC, nil
+	case "tv", "trivalency":
+		return Trivalency, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownModel, s)
+	}
+}
+
+// StandardModels lists the four settings evaluated in the paper, in the order
+// tables report them.
+func StandardModels() []Model { return []Model{UC01, UC001, IWC, OWC} }
+
+// Assign attaches probabilities to g according to the model. The src argument
+// is only consulted by randomized models (Trivalency) and may be nil for the
+// deterministic ones. Vertices with zero relevant degree cannot occur as an
+// edge endpoint of the corresponding kind, so the weighted models never
+// divide by zero.
+func Assign(g *graph.Graph, m Model, src rng.Source) (*graph.InfluenceGraph, error) {
+	switch m {
+	case UC01:
+		return graph.NewInfluenceGraph(g, func(_, _ graph.VertexID) float64 { return 0.1 })
+	case UC001:
+		return graph.NewInfluenceGraph(g, func(_, _ graph.VertexID) float64 { return 0.01 })
+	case IWC:
+		return graph.NewInfluenceGraph(g, func(_, v graph.VertexID) float64 {
+			return 1.0 / float64(g.InDegree(v))
+		})
+	case OWC:
+		return graph.NewInfluenceGraph(g, func(u, _ graph.VertexID) float64 {
+			return 1.0 / float64(g.OutDegree(u))
+		})
+	case Trivalency:
+		if src == nil {
+			return nil, fmt.Errorf("workload: Trivalency requires a random source")
+		}
+		levels := [3]float64{0.1, 0.01, 0.001}
+		return graph.NewInfluenceGraph(g, func(_, _ graph.VertexID) float64 {
+			return levels[src.Intn(3)]
+		})
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownModel, int(m))
+	}
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestUniformCascade(t *testing.T) {
+	g := testGraph(t)
+	for _, tc := range []struct {
+		model Model
+		want  float64
+	}{{UC01, 0.1}, {UC001, 0.01}} {
+		ig, err := Assign(g, tc.model, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, p := range ig.OutProbabilities(graph.VertexID(v)) {
+				if p != tc.want {
+					t.Errorf("%v: p = %v, want %v", tc.model, p, tc.want)
+				}
+			}
+		}
+	}
+}
+
+func TestIWCProbabilitiesSumToOnePerTarget(t *testing.T) {
+	// The defining property of iwc (Section 4.3): sum over in-neighbours u of
+	// p(u,v) equals 1 for every vertex v with at least one in-edge.
+	g := testGraph(t)
+	ig, err := Assign(g, IWC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		probs := ig.InProbabilities(graph.VertexID(v))
+		if len(probs) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, p := range probs {
+			sum += p
+		}
+		if math.Abs(sum-1.0) > 1e-12 {
+			t.Errorf("iwc: sum of in-probabilities of %d = %v, want 1", v, sum)
+		}
+	}
+}
+
+func TestOWCProbabilitiesSumToOnePerSource(t *testing.T) {
+	// The defining property of owc: sum over out-neighbours v of p(u,v)
+	// equals 1 for every vertex u with at least one out-edge.
+	g := testGraph(t)
+	ig, err := Assign(g, OWC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		probs := ig.OutProbabilities(graph.VertexID(u))
+		if len(probs) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, p := range probs {
+			sum += p
+		}
+		if math.Abs(sum-1.0) > 1e-12 {
+			t.Errorf("owc: sum of out-probabilities of %d = %v, want 1", u, sum)
+		}
+	}
+}
+
+func TestIWCSumProbEqualsVerticesWithInEdges(t *testing.T) {
+	// On iwc m̃ = number of vertices with at least one in-edge (the paper
+	// approximates m̃ = n).
+	g := testGraph(t)
+	ig, err := Assign(g, IWC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withIn := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.InDegree(graph.VertexID(v)) > 0 {
+			withIn++
+		}
+	}
+	if math.Abs(ig.SumProbabilities()-float64(withIn)) > 1e-12 {
+		t.Errorf("iwc m~ = %v, want %d", ig.SumProbabilities(), withIn)
+	}
+}
+
+func TestTrivalency(t *testing.T) {
+	g := testGraph(t)
+	ig, err := Assign(g, Trivalency, rng.NewXoshiro(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[float64]bool{0.1: true, 0.01: true, 0.001: true}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, p := range ig.OutProbabilities(graph.VertexID(v)) {
+			if !valid[p] {
+				t.Errorf("trivalency produced p = %v", p)
+			}
+		}
+	}
+	if _, err := Assign(g, Trivalency, nil); err == nil {
+		t.Error("Trivalency without source accepted")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]Model{
+		"uc0.1": UC01, "uc01": UC01,
+		"uc0.01": UC001, "uc001": UC001,
+		"iwc": IWC, "owc": OWC,
+		"tv": Trivalency, "trivalency": Trivalency,
+	}
+	for s, want := range cases {
+		got, err := ParseModel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseModel("bogus"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("ParseModel(bogus) err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestModelStringRoundTrip(t *testing.T) {
+	for _, m := range append(StandardModels(), Trivalency) {
+		parsed, err := ParseModel(m.String())
+		if err != nil || parsed != m {
+			t.Errorf("round trip of %v failed: %v, %v", m, parsed, err)
+		}
+	}
+	if Model(42).String() != "unknown" {
+		t.Errorf("unexpected String for invalid model")
+	}
+}
+
+func TestStandardModels(t *testing.T) {
+	ms := StandardModels()
+	if len(ms) != 4 {
+		t.Fatalf("StandardModels has %d entries, want 4", len(ms))
+	}
+	want := []Model{UC01, UC001, IWC, OWC}
+	for i, m := range ms {
+		if m != want[i] {
+			t.Errorf("StandardModels[%d] = %v, want %v", i, m, want[i])
+		}
+	}
+}
+
+func TestAssignUnknownModel(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Assign(g, Model(99), nil); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("Assign with unknown model err = %v, want ErrUnknownModel", err)
+	}
+}

@@ -1,0 +1,100 @@
+package imdist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLinearThresholdThroughPublicAPI exercises the LT extension end to end:
+// iwc weights are valid LT weights, seed selection runs under every approach,
+// and the LT oracle evaluates the result.
+func TestLinearThresholdThroughPublicAPI(t *testing.T) {
+	network, err := LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("iwc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ig.NewInfluenceOracleForModel(LT, 50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Approaches() {
+		samples := 256
+		if a == RIS {
+			samples = 8192
+		}
+		res, err := ig.SelectSeeds(SeedOptions{
+			Approach: a, SeedSize: 2, SampleNumber: samples, Seed: 9, Model: LT,
+		})
+		if err != nil {
+			t.Fatalf("%s (LT): %v", a, err)
+		}
+		inf := oracle.Influence(res.Seeds)
+		if inf <= 2 || inf > 34 {
+			t.Errorf("%s (LT): influence of %v = %v out of plausible range", a, res.Seeds, inf)
+		}
+	}
+}
+
+// TestLTOracleDiffersFromIC checks that the two models genuinely disagree on
+// Karate under uc0.1 weights (uc0.1 is a valid LT weighting because the
+// maximum in-degree is 17 and 17·0.1 > 1 is false... it is 1.7 > 1, so uc0.1
+// must be rejected), and that iwc is accepted by both.
+func TestLTModelValidation(t *testing.T) {
+	network, err := LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := network.AssignProbabilities("uc0.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 33 has in-degree 17, so its LT weights would sum to 1.7 — the LT
+	// constructor must reject the workload.
+	if _, err := uc.NewInfluenceOracleForModel(LT, 1000, 1); err == nil {
+		t.Error("uc0.1 accepted as LT weights on Karate despite in-degree 17")
+	}
+	if _, err := uc.SelectSeeds(SeedOptions{Approach: Snapshot, SeedSize: 1, SampleNumber: 4, Model: LT}); err == nil {
+		t.Error("SelectSeeds accepted invalid LT weights")
+	}
+	if _, err := uc.SelectSeeds(SeedOptions{Approach: Snapshot, SeedSize: 1, SampleNumber: 4, Model: "bogus"}); err == nil {
+		t.Error("SelectSeeds accepted an unknown diffusion model")
+	}
+	if _, err := uc.NewInfluenceOracleForModel("bogus", 100, 1); err == nil {
+		t.Error("NewInfluenceOracleForModel accepted an unknown model")
+	}
+}
+
+// TestLTAndICGiveDifferentSpreads verifies the models are not silently
+// aliased, using a diamond graph whose exact spreads differ: with uniform
+// weight 0.5 on 0→1, 0→2, 1→3, 2→3 the IC spread of vertex 0 is
+// 1 + 1 + (1 − 0.75²) = 2.4375 while the LT spread is 1 + 1 + 0.5 = 2.5.
+func TestLTAndICGiveDifferentSpreads(t *testing.T) {
+	network, err := NewNetwork(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := network.AssignUniform(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icOracle, err := ig.NewInfluenceOracle(300000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltOracle, err := ig.NewInfluenceOracleForModel(LT, 300000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icInf := icOracle.Influence([]int{0})
+	ltInf := ltOracle.Influence([]int{0})
+	if math.Abs(icInf-2.4375) > 0.03 {
+		t.Errorf("IC spread of vertex 0 = %v, want approx 2.4375", icInf)
+	}
+	if math.Abs(ltInf-2.5) > 0.03 {
+		t.Errorf("LT spread of vertex 0 = %v, want approx 2.5", ltInf)
+	}
+}
