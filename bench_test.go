@@ -9,10 +9,14 @@ package imdist
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
+	"imdist/internal/estimator"
 	"imdist/internal/experiment"
+	"imdist/internal/graph"
+	"imdist/internal/rng"
 )
 
 // benchmarkExperiment runs one registered experiment b.N times on a shared
@@ -54,6 +58,101 @@ func BenchmarkFig7ComparableNumberRatio(b *testing.B)      { benchmarkExperiment
 func BenchmarkFig8ComparableSizeRatio(b *testing.B)        { benchmarkExperiment(b, "fig8") }
 func BenchmarkExactCheckCrossValidation(b *testing.B)      { benchmarkExperiment(b, "exactcheck") }
 func BenchmarkHeuristicsQualityComparison(b *testing.B)    { benchmarkExperiment(b, "heuristics") }
+
+// benchmarkInfluenceGraph returns a dense-ish BA graph (n vertices, m
+// attachments, uniform p) for the parallel-engine benchmarks.
+func benchmarkInfluenceGraph(b *testing.B, n, m int, p float64) *graph.InfluenceGraph {
+	b.Helper()
+	network, err := GenerateBA(n, m, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := network.AssignUniform(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in.ig
+}
+
+// BenchmarkParallelBuild measures the Build phase of the two pre-sampling
+// approaches — Snapshot's τ live-edge graphs and RIS's θ RR sets — serially
+// and on the worker pool, on a generated BA graph. The workers=4 rows should
+// run at least ~2x faster than workers=1 on a 4-core machine.
+func BenchmarkParallelBuild(b *testing.B) {
+	ig := benchmarkInfluenceGraph(b, 20000, 8, 0.05)
+	cases := []struct {
+		approach estimator.Approach
+		samples  int
+	}{
+		{estimator.Snapshot, 32},
+		{estimator.RIS, 20000},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", c.approach, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := estimator.New(c.approach, estimator.Config{
+						Graph:        ig,
+						SampleNumber: c.samples,
+						Source:       rng.NewXoshiro(uint64(i + 1)),
+						Workers:      workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelOneshotEstimate measures one Oneshot estimate (β forward
+// simulations) serially and on the worker pool.
+func BenchmarkParallelOneshotEstimate(b *testing.B) {
+	ig := benchmarkInfluenceGraph(b, 20000, 8, 0.05)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			est, err := estimator.New(estimator.Oneshot, estimator.Config{
+				Graph:        ig,
+				SampleNumber: 64,
+				Source:       rng.NewXoshiro(1),
+				Workers:      workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = est.Estimate(graph.VertexID(i % ig.NumVertices()))
+			}
+		})
+	}
+}
+
+// BenchmarkParallelOracleBuild measures shared-oracle construction (the
+// dominant fixed cost of every study) serially and on the worker pool.
+func BenchmarkParallelOracleBuild(b *testing.B) {
+	network, err := GenerateBA(20000, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := network.AssignUniform(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := in.NewInfluenceOracleWithOptions(OracleOptions{
+					RRSets:  20000,
+					Seed:    uint64(i + 1),
+					Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkSelectSeeds measures the public API's seed selection for each
 // approach on Karate (uc0.1, k=4) at a mid-range sample number.

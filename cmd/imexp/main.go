@@ -4,7 +4,7 @@
 // Usage:
 //
 //	imexp -list
-//	imexp -exp table5 [-preset unit|small|paper] [-seed N]
+//	imexp -exp table5 [-preset unit|small|paper] [-seed N] [-workers W]
 //	imexp -all [-preset small]
 //
 // Each experiment prints the same rows or series the paper reports; the
@@ -31,11 +31,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("imexp", flag.ContinueOnError)
 	var (
-		expID  = fs.String("exp", "", "experiment id to run (see -list)")
-		preset = fs.String("preset", string(experiment.Small), "scale preset: unit, small or paper")
-		seed   = fs.Uint64("seed", 0, "master seed override (0 keeps the default)")
-		list   = fs.Bool("list", false, "list available experiments and exit")
-		all    = fs.Bool("all", false, "run every experiment in paper order")
+		expID   = fs.String("exp", "", "experiment id to run (see -list)")
+		preset  = fs.String("preset", string(experiment.Small), "scale preset: unit, small or paper")
+		seed    = fs.Uint64("seed", 0, "master seed override (0 keeps the default)")
+		workers = fs.Int("workers", 1, "sampling parallelism: 1 = serial (paper-exact), >1 = that many workers, -1 = all CPUs")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		all     = fs.Bool("all", false, "run every experiment in paper order")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	if *seed != 0 {
 		env.MasterSeed = *seed
 	}
+	env.Workers = *workers
 	if *all {
 		for _, e := range experiment.Registry() {
 			if err := experiment.Run(out, e.ID, env); err != nil {

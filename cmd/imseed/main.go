@@ -37,6 +37,7 @@ func run(args []string) error {
 		oracleRR  = fs.Int("oracle", 200000, "RR sets backing the influence oracle")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		lazy      = fs.Bool("lazy", false, "use CELF lazy greedy")
+		workers   = fs.Int("workers", 1, "sampling parallelism: 1 = serial, >1 = that many workers, -1 = all CPUs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,11 +72,16 @@ func run(args []string) error {
 		SampleNumber: *samples,
 		Seed:         *seed,
 		Lazy:         *lazy,
+		Workers:      *workers,
 	})
 	if err != nil {
 		return err
 	}
-	oracle, err := ig.NewInfluenceOracle(*oracleRR, *seed+1)
+	oracle, err := ig.NewInfluenceOracleWithOptions(imdist.OracleOptions{
+		RRSets:  *oracleRR,
+		Seed:    *seed + 1,
+		Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}

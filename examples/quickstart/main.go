@@ -32,12 +32,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Select k = 4 seeds with RIS using 100,000 reverse-reachable sets.
+	// 3. Select k = 4 seeds with RIS using 100,000 reverse-reachable sets,
+	//    generated in parallel on all CPUs (Workers: -1). Parallel runs stay
+	//    deterministic: the same Seed gives the same seeds and cost whatever
+	//    the worker count.
 	result, err := ig.SelectSeeds(imdist.SeedOptions{
 		Approach:     imdist.RIS,
 		SeedSize:     4,
 		SampleNumber: 100000,
 		Seed:         42,
+		Workers:      -1,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -27,7 +27,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	oracle, err := ig.NewInfluenceOracle(300000, 5)
+	// Build the shared oracle with all CPUs; the sweep below is a long serial
+	// chain of studies, so each study also fans its sampling out (Workers).
+	oracle, err := ig.NewInfluenceOracleWithOptions(imdist.OracleOptions{
+		RRSets:  300000,
+		Seed:    5,
+		Workers: -1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +67,7 @@ func main() {
 				Trials:       trials,
 				Seed:         2718,
 				Oracle:       oracle,
+				Workers:      -1,
 			})
 			if err != nil {
 				log.Fatal(err)

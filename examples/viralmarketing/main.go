@@ -60,6 +60,7 @@ func main() {
 			SampleNumber: b.samples,
 			Seed:         11,
 			Lazy:         b.approach != imdist.Oneshot, // CELF is safe for submodular estimators
+			Workers:      4,                            // parallel sampling; deterministic for fixed Seed
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,3 @@
+module imdist
+
+go 1.24

@@ -216,6 +216,18 @@ type SeedOptions struct {
 	Lazy bool
 	// Model is the diffusion model; empty means IC.
 	Model DiffusionModel
+	// Workers is the sampling parallelism. 0 and 1 run the paper's serial
+	// algorithms; values greater than 1 fan the sampling work — Snapshot's τ
+	// live-edge graphs, RIS's θ reverse-reachable sets, Oneshot's β
+	// simulations per estimate — out over that many worker goroutines;
+	// negative values use one worker per available CPU. Parallel runs are
+	// deterministic: with a fixed Seed the selected seed set and the reported
+	// Cost are byte-identical across repeated runs and across any parallel
+	// worker count (each sample draws from its own rng stream derived from
+	// Seed, and per-worker cost accumulators are merged exactly after the
+	// join). Only the serial/parallel mode switch changes which random
+	// numbers a run sees.
+	Workers int
 }
 
 func parseModel(m DiffusionModel) (diffusion.Model, error) {
@@ -267,6 +279,7 @@ func (n *InfluenceNetwork) SelectSeeds(opt SeedOptions) (*SeedResult, error) {
 		SampleNumber: opt.SampleNumber,
 		Source:       rng.Split(rng.Xoshiro, opt.Seed, 1),
 		Model:        model,
+		Workers:      opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -310,14 +323,36 @@ func (n *InfluenceNetwork) NewInfluenceOracle(rrSets int, seed uint64) (*Influen
 // NewInfluenceOracleForModel builds an influence oracle under the given
 // diffusion model ("IC" or "LT").
 func (n *InfluenceNetwork) NewInfluenceOracleForModel(model DiffusionModel, rrSets int, seed uint64) (*InfluenceOracle, error) {
+	return n.NewInfluenceOracleWithOptions(OracleOptions{Model: model, RRSets: rrSets, Seed: seed})
+}
+
+// OracleOptions configures NewInfluenceOracleWithOptions.
+type OracleOptions struct {
+	// Model is the diffusion model; empty means IC.
+	Model DiffusionModel
+	// RRSets is the number of reverse-reachable sets backing the oracle.
+	RRSets int
+	// Seed drives all randomness of the build.
+	Seed uint64
+	// Workers is the build parallelism, with the same semantics and the same
+	// determinism guarantee as SeedOptions.Workers: 0 and 1 generate the RR
+	// sets serially, larger values generate them on that many goroutines,
+	// negative values use all CPUs, and any parallel worker count yields a
+	// byte-identical oracle for a fixed Seed.
+	Workers int
+}
+
+// NewInfluenceOracleWithOptions builds an influence oracle with full control
+// over the diffusion model, RR-set count, seed and build parallelism.
+func (n *InfluenceNetwork) NewInfluenceOracleWithOptions(opt OracleOptions) (*InfluenceOracle, error) {
 	if n == nil || n.ig == nil {
 		return nil, errNilNetwork
 	}
-	m, err := parseModel(model)
+	m, err := parseModel(opt.Model)
 	if err != nil {
 		return nil, err
 	}
-	o, err := core.NewOracleForModel(n.ig, m, rrSets, rng.NewXoshiro(seed))
+	o, err := core.NewOracleParallel(n.ig, m, opt.RRSets, opt.Workers, rng.NewXoshiro(opt.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +392,11 @@ type StudyOptions struct {
 	// Oracle evaluates every produced seed set; it must come from the same
 	// influence network.
 	Oracle *InfluenceOracle
+	// Workers is the per-trial sampling parallelism, with the same semantics
+	// and determinism guarantee as SeedOptions.Workers. Trials themselves run
+	// sequentially, so the study's per-trial rng streams are derived exactly
+	// as in the serial harness.
+	Workers int
 }
 
 // StudyResult summarizes the empirical solution distribution.
@@ -405,6 +445,7 @@ func (n *InfluenceNetwork) StudyDistribution(opt StudyOptions) (*StudyResult, er
 		Trials:       opt.Trials,
 		MasterSeed:   opt.Seed,
 		Oracle:       opt.Oracle.o,
+		Workers:      opt.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -45,6 +45,13 @@ type RunConfig struct {
 	// Model selects the diffusion model; the zero value is IC as in the
 	// paper. When set to LT, the Oracle must also have been built for LT.
 	Model diffusion.Model
+	// Workers is the per-trial sampling parallelism, forwarded to
+	// estimator.Config.Workers: 0 and 1 run the paper's serial algorithms,
+	// values greater than 1 fan each trial's Build (and Oneshot's
+	// simulations) out over that many goroutines, negative values use all
+	// CPUs. Trials themselves stay sequential so the estimator streams per
+	// trial are derived exactly as in the serial harness.
+	Workers int
 }
 
 // Distribution is the empirical solution distribution S(s) and influence
@@ -111,6 +118,7 @@ func runOne(cfg RunConfig, trialIndex uint64) (Trial, error) {
 		SampleNumber: cfg.SampleNumber,
 		Source:       estSrc,
 		Model:        cfg.Model,
+		Workers:      cfg.Workers,
 	})
 	if err != nil {
 		return Trial{}, err

@@ -16,6 +16,7 @@ import (
 
 	"imdist/internal/diffusion"
 	"imdist/internal/graph"
+	"imdist/internal/parallel"
 	"imdist/internal/rng"
 	"imdist/internal/stats"
 )
@@ -45,8 +46,30 @@ func NewOracle(ig *graph.InfluenceGraph, numSets int, src rng.Source) (*Oracle, 
 }
 
 // NewOracleForModel builds an oracle under the given diffusion model (IC as
-// in the paper, or LT as an extension).
+// in the paper, or LT as an extension), generating the RR sets serially.
 func NewOracleForModel(ig *graph.InfluenceGraph, model diffusion.Model, numSets int, src rng.Source) (*Oracle, error) {
+	return NewOracleParallel(ig, model, numSets, 1, src)
+}
+
+// rrSampler abstracts RR-set generation over diffusion models.
+type rrSampler interface {
+	Sample(targetSrc, edgeSrc rng.Source, cost *diffusion.Cost) []graph.VertexID
+}
+
+func newRRSampler(ig *graph.InfluenceGraph, model diffusion.Model) rrSampler {
+	if model == diffusion.LT {
+		return diffusion.NewLTRRSampler(ig)
+	}
+	return diffusion.NewRRSampler(ig)
+}
+
+// NewOracleParallel builds an oracle under the given diffusion model,
+// generating its RR sets on a pool of workers goroutines (0 and 1 keep the
+// serial generation; negative values use all CPUs). In parallel mode each RR
+// set draws from its own pair of rng streams derived from a base seed taken
+// once from src, so the oracle is byte-identical across runs and across
+// parallel worker counts.
+func NewOracleParallel(ig *graph.InfluenceGraph, model diffusion.Model, numSets, workers int, src rng.Source) (*Oracle, error) {
 	if ig == nil || ig.NumVertices() == 0 {
 		return nil, ErrEmptyGraph
 	}
@@ -64,18 +87,28 @@ func NewOracleForModel(ig *graph.InfluenceGraph, model diffusion.Model, numSets 
 		memberOf: make([][]int32, ig.NumVertices()),
 		rrSets:   make([][]graph.VertexID, numSets),
 	}
-	targetSrc := rng.NewXoshiro(src.Uint64())
-	var sampler interface {
-		Sample(targetSrc, edgeSrc rng.Source, cost *diffusion.Cost) []graph.VertexID
-	}
-	if model == diffusion.LT {
-		sampler = diffusion.NewLTRRSampler(ig)
+	if workers < 0 || workers > 1 {
+		// Per-sample derived streams (target and edge coins share one), as in
+		// the parallel RIS Build: the oracle is then independent of the
+		// worker count and of scheduling.
+		split := rng.SplitterFrom(rng.Xoshiro, src)
+		w := parallel.Resolve(workers, numSets)
+		samplers := make([]rrSampler, w)
+		for i := range samplers {
+			samplers[i] = newRRSampler(ig, model)
+		}
+		parallel.For(w, numSets, func(worker, i int) {
+			s := split.Stream(uint64(i))
+			o.rrSets[i] = samplers[worker].Sample(s, s, nil)
+		})
 	} else {
-		sampler = diffusion.NewRRSampler(ig)
+		targetSrc := rng.NewXoshiro(src.Uint64())
+		sampler := newRRSampler(ig, model)
+		for i := 0; i < numSets; i++ {
+			o.rrSets[i] = sampler.Sample(targetSrc, src, nil)
+		}
 	}
-	for i := 0; i < numSets; i++ {
-		set := sampler.Sample(targetSrc, src, nil)
-		o.rrSets[i] = set
+	for i, set := range o.rrSets {
 		for _, v := range set {
 			o.memberOf[v] = append(o.memberOf[v], int32(i))
 		}

@@ -123,6 +123,28 @@ type Config struct {
 	// model the graph's edge probabilities are interpreted as LT weights and
 	// must sum to at most 1 over each vertex's in-edges.
 	Model diffusion.Model
+	// Workers is the parallelism of the sampling engine. 0 and 1 run the
+	// serial algorithms exactly as the paper describes them, drawing every
+	// random number sequentially from Source. Values greater than 1 fan the
+	// sampling work (Snapshot's τ live-edge graphs, RIS's θ RR sets,
+	// Oneshot's β simulations per estimate) out over that many worker
+	// goroutines; negative values use one worker per available CPU.
+	//
+	// In parallel mode each sample draws from its own rng stream derived
+	// from a base seed taken once from Source (see rng.Splitter), so runs
+	// are byte-identical across repetitions and across different parallel
+	// worker counts — only the serial/parallel mode switch changes which
+	// random numbers a sample sees. Per-worker cost accumulators are merged
+	// after the join, keeping cost accounting exact.
+	Workers int
+}
+
+// parallelEnabled reports whether the config requests the parallel sampling
+// discipline (per-sample derived streams). It depends only on the Workers
+// knob's serial/parallel mode, not on the effective goroutine count, so the
+// sampled randomness is machine-independent.
+func (cfg Config) parallelEnabled() bool {
+	return cfg.Workers < 0 || cfg.Workers > 1
 }
 
 // simulator abstracts forward Monte-Carlo simulation over diffusion models

@@ -1,0 +1,134 @@
+package estimator
+
+import (
+	"testing"
+
+	"imdist/internal/diffusion"
+	"imdist/internal/gen"
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+)
+
+// parallelTestGraph returns a 300-vertex Barabási–Albert influence graph.
+// Under IC every edge has probability 0.1; under LT every in-edge of v has
+// weight 0.9/indeg(v), which always sums to at most 1.
+func parallelTestGraph(t testing.TB, model diffusion.Model) *graph.InfluenceGraph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(300, 3, rng.NewXoshiro(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := func(_, _ graph.VertexID) float64 { return 0.1 }
+	if model == diffusion.LT {
+		assign = func(_, v graph.VertexID) float64 {
+			return 0.9 / float64(len(g.InNeighbors(v)))
+		}
+	}
+	ig, err := graph.NewInfluenceGraph(g, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+func parallelSampleNumber(a Approach) int {
+	if a == Oneshot {
+		return 64 // β: simulations per Estimate call
+	}
+	return 256 // τ / θ: samples drawn in Build
+}
+
+// buildFingerprint builds an estimator with the given worker knob and returns
+// its estimates over a fixed probe sequence (interleaved with Updates) plus
+// its final cost. Two identical fingerprints mean the runs were
+// byte-equivalent from the caller's point of view.
+func buildFingerprint(t *testing.T, a Approach, model diffusion.Model, ig *graph.InfluenceGraph, workers int) ([]float64, diffusion.Cost) {
+	t.Helper()
+	est, err := New(a, Config{
+		Graph:        ig,
+		SampleNumber: parallelSampleNumber(a),
+		Source:       rng.NewXoshiro(42),
+		Model:        model,
+		Workers:      workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	for _, seed := range []graph.VertexID{0, 7, 31} {
+		for v := 0; v < 16; v++ {
+			out = append(out, est.Estimate(graph.VertexID(v)))
+		}
+		est.Update(seed)
+	}
+	return out, est.Cost()
+}
+
+// TestParallelBuildDeterministic asserts the tentpole's determinism guarantee
+// at the estimator layer: with a fixed seed, a parallel build (Workers > 1)
+// reproduces identical estimates and an identical merged cost across repeated
+// runs AND across different parallel worker counts (2, 4, all CPUs), for all
+// three approaches under both IC and LT. Running it under -race also
+// exercises the concurrent Build paths.
+func TestParallelBuildDeterministic(t *testing.T) {
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		ig := parallelTestGraph(t, model)
+		for _, a := range All() {
+			ref, refCost := buildFingerprint(t, a, model, ig, 4)
+			for run, workers := range map[string]int{"repeat4": 4, "workers2": 2, "allCPUs": -1} {
+				got, gotCost := buildFingerprint(t, a, model, ig, workers)
+				if gotCost != refCost {
+					t.Errorf("%v/%v %s: cost %+v != reference %+v", model, a, run, gotCost, refCost)
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Errorf("%v/%v %s: estimate[%d] = %v != reference %v", model, a, run, i, got[i], ref[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCostMatchesSerialTotals checks exact cost accounting: the
+// merged per-worker accumulators of a parallel Snapshot/RIS build must count
+// the same sample-size totals a serial build of the same samples would (the
+// snapshots/RR sets differ — parallel mode draws different random numbers —
+// but for Snapshot the stored vertex count is τ·n regardless).
+func TestParallelCostMatchesSerialTotals(t *testing.T) {
+	ig := parallelTestGraph(t, diffusion.IC)
+	est, err := New(Snapshot, Config{
+		Graph:        ig,
+		SampleNumber: 128,
+		Source:       rng.NewXoshiro(5),
+		Workers:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVertices := int64(128 * ig.NumVertices())
+	if got := est.Cost().SampleVertices; got != wantVertices {
+		t.Errorf("parallel Snapshot build stored %d sample vertices, want %d", got, wantVertices)
+	}
+}
+
+// TestSerialPathUnchanged pins the Workers knob's backward compatibility:
+// Workers 0 and 1 must reproduce exactly the estimates and cost of the
+// pre-knob serial code path.
+func TestSerialPathUnchanged(t *testing.T) {
+	ig := parallelTestGraph(t, diffusion.IC)
+	for _, a := range All() {
+		ref, refCost := buildFingerprint(t, a, diffusion.IC, ig, 0)
+		got, gotCost := buildFingerprint(t, a, diffusion.IC, ig, 1)
+		if gotCost != refCost {
+			t.Errorf("%v: Workers=1 cost %+v != Workers=0 cost %+v", a, gotCost, refCost)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%v: Workers=1 estimate[%d] differs from Workers=0", a, i)
+				break
+			}
+		}
+	}
+}

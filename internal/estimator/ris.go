@@ -3,6 +3,7 @@ package estimator
 import (
 	"imdist/internal/diffusion"
 	"imdist/internal/graph"
+	"imdist/internal/parallel"
 	"imdist/internal/rng"
 )
 
@@ -21,6 +22,9 @@ type risEstimator struct {
 	memberOf [][]int32
 	// coveredSet[i] is true once an RR set has been covered by a chosen seed.
 	coveredSet []bool
+	// coveredCount is the number of true entries in coveredSet, kept
+	// incrementally so CoveredFraction is O(1).
+	coveredCount int
 	// coverCount[v] is the number of not-yet-covered RR sets containing v,
 	// kept incrementally so Estimate is O(1).
 	coverCount []int32
@@ -38,22 +42,53 @@ func newRIS(cfg Config) *risEstimator {
 		coveredSet: make([]bool, cfg.SampleNumber),
 		coverCount: make([]int32, n),
 	}
-	// Per Section 4.1, RIS uses two PRNG streams: one to choose the random
-	// target and one for the edge coin flips. Both are derived from the
-	// configured source so a single seed reproduces the run.
-	targetSrc := rng.NewXoshiro(cfg.Source.Uint64())
-	edgeSrc := cfg.Source
-
-	sampler := newReverseSampler(cfg)
-	for i := 0; i < cfg.SampleNumber; i++ {
-		set := sampler.Sample(targetSrc, edgeSrc, &r.cost)
-		r.rrSets[i] = set
+	if cfg.parallelEnabled() {
+		r.buildParallel()
+	} else {
+		r.buildSerial()
+	}
+	// Index the RR sets in sample order; the membership lists and coverage
+	// counts are therefore identical however the sets were generated.
+	for i, set := range r.rrSets {
 		for _, v := range set {
 			r.memberOf[v] = append(r.memberOf[v], int32(i))
 			r.coverCount[v]++
 		}
 	}
 	return r
+}
+
+// buildSerial draws the θ RR sets sequentially from the configured source.
+// Per Section 4.1, RIS uses two PRNG streams: one to choose the random target
+// and one for the edge coin flips. Both are derived from the configured
+// source so a single seed reproduces the run.
+func (r *risEstimator) buildSerial() {
+	targetSrc := rng.NewXoshiro(r.cfg.Source.Uint64())
+	edgeSrc := r.cfg.Source
+
+	sampler := newReverseSampler(r.cfg)
+	for i := 0; i < r.cfg.SampleNumber; i++ {
+		r.rrSets[i] = sampler.Sample(targetSrc, edgeSrc, &r.cost)
+	}
+}
+
+// buildParallel draws the θ RR sets on a worker pool. Sample i draws both its
+// target and its edge coins from its own stream derived from the splitter, so
+// the pool of RR sets — and hence every later estimate — does not depend on
+// the worker count or on scheduling. Each worker owns one sampler (scratch
+// buffers) and one cost accumulator; the accumulators are merged after the
+// join.
+func (r *risEstimator) buildParallel() {
+	split := rng.SplitterFrom(rng.Xoshiro, r.cfg.Source)
+	workers := parallel.Resolve(r.cfg.Workers, r.cfg.SampleNumber)
+	samplers := make([]reverseSampler, workers)
+	for w := range samplers {
+		samplers[w] = newReverseSampler(r.cfg)
+	}
+	parallel.ForCost(workers, r.cfg.SampleNumber, &r.cost, func(w, i int, cost *diffusion.Cost) {
+		src := split.Stream(uint64(i))
+		r.rrSets[i] = samplers[w].Sample(src, src, cost)
+	})
 }
 
 func (r *risEstimator) Approach() Approach { return RIS }
@@ -75,6 +110,7 @@ func (r *risEstimator) Update(v graph.VertexID) {
 			continue
 		}
 		r.coveredSet[idx] = true
+		r.coveredCount++
 		for _, u := range r.rrSets[idx] {
 			r.coverCount[u]--
 		}
@@ -89,13 +125,8 @@ func (r *risEstimator) Cost() diffusion.Cost { return r.cost }
 // CoveredFraction returns the fraction of RR sets covered by the current seed
 // set, i.e. F_R(S); n times this value is the running influence estimate of
 // the selected seeds. It is exposed for the influence-oracle reuse described
-// in Section 5.2.
+// in Section 5.2. The covered count is maintained by Update, so the call is
+// O(1).
 func (r *risEstimator) CoveredFraction() float64 {
-	covered := 0
-	for _, c := range r.coveredSet {
-		if c {
-			covered++
-		}
-	}
-	return float64(covered) / float64(len(r.coveredSet))
+	return float64(r.coveredCount) / float64(len(r.coveredSet))
 }

@@ -3,6 +3,8 @@ package estimator
 import (
 	"imdist/internal/diffusion"
 	"imdist/internal/graph"
+	"imdist/internal/parallel"
+	"imdist/internal/rng"
 )
 
 // snapshotEstimator implements Algorithm 3.3: Build samples τ live-edge
@@ -43,6 +45,17 @@ func newSnapshot(cfg Config) *snapshotEstimator {
 	// Build: generate τ random graphs from G (Algorithm 3.3 line 2). Under
 	// the LT model the random graphs come from the at-most-one-in-edge
 	// live-edge characterization instead of independent edge coins.
+	if cfg.parallelEnabled() {
+		split := rng.SplitterFrom(rng.Xoshiro, cfg.Source)
+		workers := parallel.Resolve(cfg.Workers, cfg.SampleNumber)
+		parallel.ForCost(workers, cfg.SampleNumber, &s.cost, func(_, i int, cost *diffusion.Cost) {
+			s.snapshots[i] = sampleSnapshot(cfg, split.Stream(uint64(i)), cost)
+		})
+		for i := range s.covered {
+			s.covered[i] = make([]uint64, words)
+		}
+		return s
+	}
 	for i := 0; i < cfg.SampleNumber; i++ {
 		s.snapshots[i] = sampleSnapshot(cfg, cfg.Source, &s.cost)
 		s.covered[i] = make([]uint64, words)

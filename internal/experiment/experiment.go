@@ -14,6 +14,7 @@ import (
 
 	"imdist/internal/core"
 	"imdist/internal/data"
+	"imdist/internal/diffusion"
 	"imdist/internal/graph"
 	"imdist/internal/rng"
 	"imdist/internal/workload"
@@ -90,6 +91,12 @@ func ScaleFor(p Preset) (Scale, error) {
 type Env struct {
 	Scale      Scale
 	MasterSeed uint64
+	// Workers is the sampling parallelism forwarded to every estimator build
+	// and oracle build the experiments perform (see estimator.Config.Workers).
+	// 0 and 1 reproduce the serial harness; parallel runs are deterministic
+	// for a fixed master seed but draw different random numbers than serial
+	// ones, so published serial artefacts are only reproduced at Workers <= 1.
+	Workers int
 
 	graphs  map[string]*graph.InfluenceGraph
 	oracles map[string]*core.Oracle
@@ -148,7 +155,7 @@ func (e *Env) Oracle(ds data.Dataset, m workload.Model) (*core.Oracle, error) {
 			sets = 1000
 		}
 	}
-	o, err := core.NewOracle(ig, sets, rng.Split(rng.Xoshiro, e.MasterSeed, 991))
+	o, err := core.NewOracleParallel(ig, diffusion.IC, sets, e.Workers, rng.Split(rng.Xoshiro, e.MasterSeed, 991))
 	if err != nil {
 		return nil, err
 	}

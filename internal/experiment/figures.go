@@ -5,6 +5,7 @@ import (
 
 	"imdist/internal/core"
 	"imdist/internal/data"
+	"imdist/internal/diffusion"
 	"imdist/internal/estimator"
 	"imdist/internal/exact"
 	"imdist/internal/graph"
@@ -315,6 +316,7 @@ func runExactCheck(w io.Writer, env *Env) error {
 			Graph:        ig,
 			SampleNumber: samples[a],
 			Source:       rng.Split(rng.Xoshiro, env.MasterSeed, uint64(a)+101),
+			Workers:      env.Workers,
 		})
 		if err != nil {
 			return err
@@ -324,7 +326,7 @@ func runExactCheck(w io.Writer, env *Env) error {
 			return err
 		}
 	}
-	oracle, err := core.NewOracle(ig, samples[estimator.RIS], rng.Split(rng.Xoshiro, env.MasterSeed, 202))
+	oracle, err := core.NewOracleParallel(ig, diffusion.IC, samples[estimator.RIS], env.Workers, rng.Split(rng.Xoshiro, env.MasterSeed, 202))
 	if err != nil {
 		return err
 	}
@@ -382,6 +384,7 @@ func runHeuristics(w io.Writer, env *Env) error {
 			Graph:        ig,
 			SampleNumber: sampleNumbers[a],
 			Source:       rng.Split(rng.Xoshiro, env.MasterSeed, uint64(a)+303),
+			Workers:      env.Workers,
 		})
 		if err != nil {
 			return err

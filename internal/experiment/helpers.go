@@ -62,6 +62,7 @@ func (e *Env) sweep(inst instance, a estimator.Approach) ([]*core.Distribution, 
 		Trials:     trialsFor(e.Scale, inst.Dataset),
 		MasterSeed: e.MasterSeed ^ uint64(a+1)<<32 ^ uint64(inst.K)<<40,
 		Oracle:     oracle,
+		Workers:    e.Workers,
 	}
 	return core.Sweep(base, levelsFor(e.Scale, a))
 }

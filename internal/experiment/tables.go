@@ -230,6 +230,7 @@ func (e *Env) traversalRows(ds data.Dataset, m workload.Model) ([]core.Traversal
 		Trials:     trialsFor(e.Scale, ds),
 		MasterSeed: e.MasterSeed ^ 0x7ab1e8 ^ uint64(m)<<16,
 		Oracle:     oracle,
+		Workers:    e.Workers,
 	}
 	approaches := allApproaches()
 	if skipOneshot(ds) {

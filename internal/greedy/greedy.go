@@ -28,7 +28,7 @@ func Run(est estimator.Estimator, n, k int, src rng.Source) ([]graph.VertexID, e
 		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrInvalidSeedSize, k, n)
 	}
 	order := shuffledOrder(n, src)
-	selected := make([]bool, n)
+	selected := preselected(est, n)
 	seeds := make([]graph.VertexID, 0, k)
 
 	for len(seeds) < k {
@@ -47,7 +47,10 @@ func Run(est estimator.Estimator, n, k int, src rng.Source) ([]graph.VertexID, e
 			}
 		}
 		if best < 0 {
-			break // all vertices selected (cannot happen when k <= n)
+			// All candidates are selected already — possible when the
+			// estimator arrived with pre-committed seeds and k exceeds the
+			// remaining vertices. Mirror RunLazy's error.
+			return seeds, fmt.Errorf("%w: exhausted candidates after %d seeds", ErrInvalidSeedSize, len(seeds))
 		}
 		est.Update(best)
 		selected[best] = true
@@ -75,8 +78,12 @@ func RunLazy(est estimator.Estimator, n, k int, src rng.Source) ([]graph.VertexI
 		rank[v] = i
 	}
 
+	selected := preselected(est, n)
 	pq := make(gainHeap, 0, n)
 	for _, v := range order {
+		if selected[v] {
+			continue
+		}
 		pq = append(pq, gainEntry{vertex: v, gain: est.Estimate(v), round: 0, rank: rank[v]})
 	}
 	heap.Init(&pq)
@@ -99,6 +106,22 @@ func RunLazy(est estimator.Estimator, n, k int, src rng.Source) ([]graph.VertexI
 		return seeds, fmt.Errorf("%w: exhausted candidates after %d seeds", ErrInvalidSeedSize, len(seeds))
 	}
 	return seeds, nil
+}
+
+// preselected returns the selection mask seeded with the vertices the
+// estimator has already committed. Re-selecting a committed vertex would
+// silently corrupt the result — the returned seed set contains duplicates yet
+// counts them against k, and the coverage state no longer matches a k-seed
+// greedy run — so vertices already in the estimator's seed set are
+// defensively excluded from the candidate pool.
+func preselected(est estimator.Estimator, n int) []bool {
+	selected := make([]bool, n)
+	for _, v := range est.Seeds() {
+		if int(v) >= 0 && int(v) < n {
+			selected[v] = true
+		}
+	}
+	return selected
 }
 
 // shuffledOrder returns a Fisher–Yates shuffle of 0..n-1 driven by src.

@@ -200,3 +200,41 @@ func TestShuffledOrderIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+// TestRunSkipsPrecommittedSeeds covers the double-selection hazard: when the
+// estimator arrives with committed seeds (e.g. a reused estimator), neither
+// Run nor RunLazy may select them again — the returned seed set must be
+// disjoint from the pre-committed set and duplicate-free.
+func TestRunSkipsPrecommittedSeeds(t *testing.T) {
+	ig := twoStarGraph(t)
+	for _, lazy := range []bool{false, true} {
+		for _, a := range []estimator.Approach{estimator.Snapshot, estimator.RIS} {
+			est := newEst(t, a, ig, 64, 5)
+			// Pre-commit the strongest vertex (hub 0) outside the greedy loop.
+			est.Update(0)
+			var (
+				seeds []graph.VertexID
+				err   error
+			)
+			if lazy {
+				seeds, err = RunLazy(est, ig.NumVertices(), 2, rng.NewXoshiro(9))
+			} else {
+				seeds, err = Run(est, ig.NumVertices(), 2, rng.NewXoshiro(9))
+			}
+			if err != nil {
+				t.Fatalf("%v lazy=%v: %v", a, lazy, err)
+			}
+			seen := map[graph.VertexID]bool{0: true}
+			for _, s := range seeds {
+				if seen[s] {
+					t.Fatalf("%v lazy=%v: vertex %d selected twice (seeds %v after pre-committing 0)", a, lazy, s, seeds)
+				}
+				seen[s] = true
+			}
+			// Hub 1 must still be found among the fresh selections.
+			if !containsBoth(append(seeds, 0), 0, 1) {
+				t.Errorf("%v lazy=%v: expected hub 1 in %v", a, lazy, seeds)
+			}
+		}
+	}
+}

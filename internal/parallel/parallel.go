@@ -1,0 +1,102 @@
+// Package parallel provides the small worker-pool primitive the sampling
+// engines fan out on: a bounded set of goroutines pulling sample indices from
+// a shared counter. Work is identified purely by its index, so callers that
+// derive their randomness per index (see rng.Splitter) and write results into
+// per-index slots produce output independent of scheduling and of the exact
+// worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"imdist/internal/diffusion"
+)
+
+// Resolve normalizes a Workers knob into an effective goroutine count for n
+// independent work items: values of 0 or 1 mean serial execution, negative
+// values mean one worker per available CPU (GOMAXPROCS), and the result is
+// never larger than n or smaller than 1.
+func Resolve(workers, n int) int {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// For runs body(worker, index) for every index in [0, n) across the given
+// number of worker goroutines (already normalized by Resolve). Indices are
+// handed out dynamically in small contiguous chunks from a shared atomic
+// counter, so workloads with skewed per-index cost balance automatically
+// while cheap per-index workloads (tiny RR sets) do not contend on the
+// counter. body receives the worker id in [0, workers) so callers can keep
+// per-worker accumulators (cost counters, scratch samplers) without locking.
+// For returns after every index has been processed.
+//
+// With workers == 1 the loop runs on the calling goroutine with no
+// synchronization overhead.
+func For(workers, n int, body func(worker, index int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	// Aim for ~16 chunks per worker: enough granularity to balance skew,
+	// few enough atomic operations to be invisible next to the work itself.
+	chunk := n / (workers * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					body(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForCost runs body like For, additionally giving each worker its own
+// diffusion.Cost accumulator and merging them into total (in worker order)
+// after the join. Because the counters are int64, the merged totals are exact
+// and independent of how indices were distributed — this is the shared cost
+// discipline of every parallel sampling engine.
+func ForCost(workers, n int, total *diffusion.Cost, body func(worker, index int, cost *diffusion.Cost)) {
+	costs := make([]diffusion.Cost, workers)
+	For(workers, n, func(w, i int) { body(w, i, &costs[w]) })
+	for w := range costs {
+		total.Add(costs[w])
+	}
+}

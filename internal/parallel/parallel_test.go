@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 100, 1},
+		{1, 100, 1},
+		{4, 100, 4},
+		{4, 2, 2},
+		{4, 0, 1},
+		{8, 8, 8},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.workers, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+	if got := Resolve(-1, 1<<30); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-1, big) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		For(workers, n, func(_, i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 256
+	var perWorker [workers]atomic.Int32
+	For(workers, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+			return
+		}
+		perWorker[w].Add(1)
+	})
+	total := int32(0)
+	for w := range perWorker {
+		total += perWorker[w].Load()
+	}
+	if total != n {
+		t.Fatalf("processed %d items, want %d", total, n)
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(4, 0, func(_, _ int) { called = true })
+	if called {
+		t.Fatal("body called for n = 0")
+	}
+}

@@ -69,6 +69,37 @@ func Split(a Algorithm, masterSeed uint64, stream uint64) Source {
 	return New(a, s)
 }
 
+// Splitter deterministically derives an unbounded family of independent child
+// Sources from a single base seed. It is the splittable-seed mechanism behind
+// the parallel sampling engines: the base is drawn once (sequentially) from a
+// parent Source, after which Stream(i) can be called for any index from any
+// goroutine — a Splitter is immutable and therefore safe for concurrent use,
+// unlike the Sources it produces.
+type Splitter struct {
+	algorithm Algorithm
+	base      uint64
+}
+
+// NewSplitter returns a Splitter producing children of the given algorithm
+// from the given base seed.
+func NewSplitter(a Algorithm, base uint64) Splitter {
+	return Splitter{algorithm: a, base: base}
+}
+
+// SplitterFrom draws a base seed from src (advancing it by one Uint64) and
+// returns the Splitter rooted at it. This is how a sampling engine converts
+// its single configured Source into per-sample streams while staying
+// reproducible: the one sequential draw pins the whole family.
+func SplitterFrom(a Algorithm, src Source) Splitter {
+	return NewSplitter(a, src.Uint64())
+}
+
+// Stream returns the i-th child Source. Equal (base, i) pairs always yield
+// identical streams; distinct indices yield independent ones.
+func (s Splitter) Stream(i uint64) Source {
+	return Split(s.algorithm, s.base, i)
+}
+
 // splitmix64 advances a splitmix64 state and returns the next output.
 // It is used both as a seeder and as a mixer for stream derivation.
 func splitmix64(x uint64) uint64 {

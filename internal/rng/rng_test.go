@@ -209,3 +209,51 @@ func BenchmarkXoshiroUint64(b *testing.B) {
 		_ = s.Uint64()
 	}
 }
+
+func TestSplitterMatchesSplit(t *testing.T) {
+	sp := NewSplitter(Xoshiro, 42)
+	for _, i := range []uint64{0, 1, 2, 1000} {
+		a := sp.Stream(i)
+		b := Split(Xoshiro, 42, i)
+		for j := 0; j < 16; j++ {
+			if av, bv := a.Uint64(), b.Uint64(); av != bv {
+				t.Fatalf("stream %d draw %d: Splitter %d != Split %d", i, j, av, bv)
+			}
+		}
+	}
+}
+
+func TestSplitterFromAdvancesParentOnce(t *testing.T) {
+	parent := NewXoshiro(7)
+	want := NewXoshiro(7)
+	_ = SplitterFrom(Xoshiro, parent)
+	want.Uint64()
+	if parent.Uint64() != want.Uint64() {
+		t.Fatal("SplitterFrom must consume exactly one Uint64 from the parent")
+	}
+}
+
+func TestSplitterConcurrentUse(t *testing.T) {
+	sp := NewSplitter(Xoshiro, 99)
+	ref := make([]uint64, 64)
+	for i := range ref {
+		ref[i] = sp.Stream(uint64(i)).Uint64()
+	}
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func() {
+			ok := true
+			for i := range ref {
+				if sp.Stream(uint64(i)).Uint64() != ref[i] {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if !<-done {
+			t.Fatal("concurrent Stream draws diverged from serial reference")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package imdist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parallelTestNetwork returns a 400-vertex BA influence network with uniform
+// IC probabilities, big enough that parallel Build genuinely interleaves.
+func parallelTestNetwork(t testing.TB) *InfluenceNetwork {
+	t.Helper()
+	network, err := GenerateBA(400, 3, 2020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("uc0.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+// TestSelectSeedsParallelDeterminism is the acceptance check of the parallel
+// engine at the API boundary: with a fixed seed, Workers: 4 produces
+// byte-identical seed sets and exact merged cost totals across repeated runs,
+// and the result is also independent of the parallel worker count.
+func TestSelectSeedsParallelDeterminism(t *testing.T) {
+	ig := parallelTestNetwork(t)
+	cases := []struct {
+		approach Approach
+		samples  int
+	}{
+		{Oneshot, 32},
+		{Snapshot, 64},
+		{RIS, 4096},
+	}
+	for _, c := range cases {
+		opt := SeedOptions{
+			Approach:     c.approach,
+			SeedSize:     4,
+			SampleNumber: c.samples,
+			Seed:         99,
+			Workers:      4,
+		}
+		ref, err := ig.SelectSeeds(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.approach, err)
+		}
+		for run := 0; run < 2; run++ {
+			got, err := ig.SelectSeeds(opt)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", c.approach, run, err)
+			}
+			if !reflect.DeepEqual(got.Seeds, ref.Seeds) {
+				t.Errorf("%s run %d: seeds %v != %v", c.approach, run, got.Seeds, ref.Seeds)
+			}
+			if got.Cost != ref.Cost {
+				t.Errorf("%s run %d: cost %+v != %+v", c.approach, run, got.Cost, ref.Cost)
+			}
+		}
+		for _, workers := range []int{2, -1} {
+			opt.Workers = workers
+			got, err := ig.SelectSeeds(opt)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.approach, workers, err)
+			}
+			if !reflect.DeepEqual(got.Seeds, ref.Seeds) {
+				t.Errorf("%s workers=%d: seeds %v != Workers=4 seeds %v", c.approach, workers, got.Seeds, ref.Seeds)
+			}
+			if got.Cost != ref.Cost {
+				t.Errorf("%s workers=%d: cost %+v != Workers=4 cost %+v", c.approach, workers, got.Cost, ref.Cost)
+			}
+		}
+	}
+}
+
+// TestSelectSeedsSerialUnchangedByKnob pins backward compatibility: leaving
+// Workers at its zero value must reproduce exactly what Workers: 1 produces
+// (the pre-knob serial algorithms).
+func TestSelectSeedsSerialUnchangedByKnob(t *testing.T) {
+	ig := parallelTestNetwork(t)
+	opt := SeedOptions{Approach: Snapshot, SeedSize: 3, SampleNumber: 32, Seed: 5}
+	ref, err := ig.SelectSeeds(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 1
+	got, err := ig.SelectSeeds(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Seeds, ref.Seeds) || got.Cost != ref.Cost {
+		t.Errorf("Workers=1 result %+v differs from zero-value result %+v", got, ref)
+	}
+}
+
+// TestStudyDistributionParallelDeterminism checks the study harness: a
+// parallel study reproduces identical entropies, per-trial influences and
+// mean costs across repeated runs.
+func TestStudyDistributionParallelDeterminism(t *testing.T) {
+	ig := parallelTestNetwork(t)
+	oracle, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 20000, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := StudyOptions{
+		Approach:     RIS,
+		SeedSize:     3,
+		SampleNumber: 1024,
+		Trials:       8,
+		Seed:         7,
+		Oracle:       oracle,
+		Workers:      4,
+	}
+	ref, err := ig.StudyDistribution(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ig.StudyDistribution(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("repeated parallel study differs:\n got %+v\nwant %+v", got, ref)
+	}
+}
+
+// TestOracleParallelDeterminism checks that a parallel oracle build is
+// byte-identical across runs and across worker counts, as observed through
+// its influence estimates.
+func TestOracleParallelDeterminism(t *testing.T) {
+	ig := parallelTestNetwork(t)
+	probe := []int{0, 1, 2, 3, 50, 100}
+	build := func(workers int) []float64 {
+		oracle, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 30000, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, len(probe)+1)
+		for _, v := range probe {
+			out = append(out, oracle.Influence([]int{v}))
+		}
+		return append(out, oracle.Influence(probe))
+	}
+	ref := build(4)
+	for _, workers := range []int{4, 2, -1} {
+		if got := build(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: oracle estimates %v != %v", workers, got, ref)
+		}
+	}
+}
+
+// TestSelectSeedsParallelLT exercises the parallel engine under the Linear
+// Threshold model through the public API.
+func TestSelectSeedsParallelLT(t *testing.T) {
+	network, err := GenerateBA(200, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iwc assigns in-degree-normalized weights, which are valid LT weights.
+	ig, err := network.AssignProbabilities("iwc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, approach := range Approaches() {
+		opt := SeedOptions{
+			Approach:     approach,
+			SeedSize:     3,
+			SampleNumber: 64,
+			Seed:         21,
+			Model:        LT,
+			Workers:      4,
+		}
+		ref, err := ig.SelectSeeds(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", approach, err)
+		}
+		got, err := ig.SelectSeeds(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", approach, err)
+		}
+		if !reflect.DeepEqual(got.Seeds, ref.Seeds) || got.Cost != ref.Cost {
+			t.Errorf("%s: repeated parallel LT run differs: %+v vs %+v", approach, got, ref)
+		}
+	}
+}
