@@ -213,7 +213,9 @@ func BenchmarkInfluenceOracle(b *testing.B) {
 	seeds := oracle.GreedySeeds(4)
 	b.Run("Query", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = oracle.Influence(seeds)
+			if _, err := oracle.Influence(seeds); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -89,8 +89,12 @@ func run(args []string) error {
 		ig.NumVertices(), ig.NumEdges(), ig.SumProbabilities(), *prob)
 	fmt.Printf("algorithm: %s, sample number %d, k=%d\n", *algo, *samples, *k)
 	fmt.Printf("seeds: %v\n", res.Seeds)
+	influence, err := oracle.Influence(res.Seeds)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("estimated influence: %.3f (+/- %.3f at 99%%)\n",
-		oracle.Influence(res.Seeds), oracle.ConfidenceHalfWidth99())
+		influence, oracle.ConfidenceHalfWidth99())
 	fmt.Printf("traversal cost: %d vertices, %d edges\n",
 		res.Cost.VerticesExamined, res.Cost.EdgesExamined)
 	fmt.Printf("sample size: %d vertices, %d edges\n",

@@ -1,0 +1,88 @@
+// Command imserve serves influence queries from a prebuilt RR-sketch file —
+// the cheap, online half of the build-once / serve-many pipeline. It loads
+// the sketch once (memory-mapped where the platform supports it) and answers
+// any number of concurrent HTTP queries from it; the expensive sketch build
+// stays offline in imsketch.
+//
+// Usage:
+//
+//	imserve -sketch karate.sketch -addr :8080
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/influence -d '{"seeds":[0,33]}'
+//	curl -s -X POST localhost:8080/v1/seeds -d '{"k":4}'
+//	curl -s 'localhost:8080/v1/top?k=10'
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"imdist/internal/server"
+	"imdist/internal/sketchio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "imserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("imserve", flag.ContinueOnError)
+	var (
+		sketch   = fs.String("sketch", "", "path to a sketch built by imsketch (required)")
+		addr     = fs.String("addr", ":8080", "listen address")
+		cache    = fs.Int("cache", server.DefaultCacheSize, "LRU query-cache entries (negative disables)")
+		maxBody  = fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
+		maxSeeds = fs.Int("max-seeds", server.DefaultMaxSeeds, "maximum seed-set size per /v1/influence request")
+		maxK     = fs.Int("max-k", server.DefaultMaxK, "maximum k for /v1/seeds and /v1/top")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sketch == "" {
+		return fmt.Errorf("-sketch is required")
+	}
+
+	start := time.Now()
+	oracle, err := sketchio.ReadFile(*sketch)
+	if err != nil {
+		return fmt.Errorf("loading sketch %s: %w", *sketch, err)
+	}
+	log.Printf("loaded %s in %v: n=%d rr_sets=%d model=%s seed=%d",
+		*sketch, time.Since(start).Round(time.Millisecond),
+		oracle.NumVertices(), oracle.NumSets(), oracle.Model(), oracle.BuildSeed())
+
+	srv, err := server.New(server.Config{
+		Oracle:       oracle,
+		CacheSize:    *cache,
+		MaxBodyBytes: *maxBody,
+		MaxSeeds:     *maxSeeds,
+		MaxK:         *maxK,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shut down cleanly")
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"imdist"
+	"imdist/internal/sketchio"
+)
+
+// TestPipelineSketchMatchesInMemoryOracle runs the imsketch CLI end to end
+// and loads the artifact exactly the way imserve does (sketchio.ReadFile):
+// the loaded sketch must return byte-identical GreedySeeds and Influence to
+// an in-memory oracle built with the same parameters.
+func TestPipelineSketchMatchesInMemoryOracle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "karate.sketch")
+	err := run([]string{
+		"-dataset", "Karate", "-prob", "uc0.1",
+		"-rr", "20000", "-seed", "7", "-workers", "2",
+		"-out", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	network, err := imdist.LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("uc0.1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ig.NewInfluenceOracleWithOptions(imdist.OracleOptions{RRSets: 20000, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := sketchio.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 4, 8} {
+		gotSeeds := make([]int, 0, k)
+		for _, v := range got.GreedySeeds(k) {
+			gotSeeds = append(gotSeeds, int(v))
+		}
+		if !reflect.DeepEqual(gotSeeds, want.GreedySeeds(k)) {
+			t.Fatalf("GreedySeeds(%d): sketch %v != in-memory %v", k, gotSeeds, want.GreedySeeds(k))
+		}
+	}
+	wantInf, err := want.Influence([]int{0, 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotInf, err := got.Influence([]int32{0, 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotInf != wantInf {
+		t.Errorf("Influence({0,33}): sketch %v != in-memory %v", gotInf, wantInf)
+	}
+
+	if err := run([]string{"-info", path}); err != nil {
+		t.Errorf("-info failed: %v", err)
+	}
+}
+
+func TestRunRejectsMissingFlags(t *testing.T) {
+	if err := run([]string{"-dataset", "Karate"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-out", "x.sketch"}); err == nil {
+		t.Error("missing -graph/-dataset accepted")
+	}
+}

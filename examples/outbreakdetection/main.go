@@ -72,7 +72,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfinal station placement: %v\n", res.Seeds)
-	fmt.Printf("expected number of people within reach of a station: %.1f\n", oracle.Influence(res.Seeds))
+	reach, err := oracle.Influence(res.Seeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected number of people within reach of a station: %.1f\n", reach)
 	fmt.Println("\nWith one snapshot the placement changes on every run; by a few hundred")
 	fmt.Println("snapshots every run agrees — the entropy collapse of the paper's Figure 1.")
 }

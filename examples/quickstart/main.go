@@ -56,8 +56,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	influence, err := oracle.Influence(result.Seeds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("estimated influence spread: %.2f of %d vertices (99%% CI +/- %.2f)\n",
-		oracle.Influence(result.Seeds), ig.NumVertices(), oracle.ConfidenceHalfWidth99())
+		influence, ig.NumVertices(), oracle.ConfidenceHalfWidth99())
 
 	// 5. Compare against the single most influential vertices.
 	top, infs := oracle.TopVertices(3)

@@ -43,7 +43,10 @@ func main() {
 		fraction = 0.95
 		prob     = 0.99
 	)
-	reference := oracle.Influence(oracle.GreedySeeds(k))
+	reference, err := oracle.Influence(oracle.GreedySeeds(k))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("instance: Karate (iwc, k=%d); reference influence %.2f\n", k, reference)
 	fmt.Printf("criterion: influence >= %.0f%% of reference in >= %.0f%% of %d trials\n\n",
 		fraction*100, prob*100, trials)

@@ -37,7 +37,10 @@ func main() {
 		log.Fatal(err)
 	}
 	const k = 5
-	reference := oracle.Influence(oracle.GreedySeeds(k))
+	reference, err := oracle.Influence(oracle.GreedySeeds(k))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("reference (oracle greedy) adoption for k=%d: %.1f customers\n\n", k, reference)
 
 	// Sample numbers chosen per approach so that all three reach about the
@@ -65,7 +68,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		adoption := oracle.Influence(res.Seeds)
+		adoption, err := oracle.Influence(res.Seeds)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-9s %10d %14.1f %16d %16d\n",
 			b.approach, b.samples, adoption,
 			res.Cost.VerticesExamined+res.Cost.EdgesExamined,

@@ -36,6 +36,7 @@ import (
 	"imdist/internal/graph"
 	"imdist/internal/greedy"
 	"imdist/internal/rng"
+	"imdist/internal/sketchio"
 	"imdist/internal/workload"
 )
 
@@ -352,7 +353,7 @@ func (n *InfluenceNetwork) NewInfluenceOracleWithOptions(opt OracleOptions) (*In
 	if err != nil {
 		return nil, err
 	}
-	o, err := core.NewOracleParallel(n.ig, m, opt.RRSets, opt.Workers, rng.NewXoshiro(opt.Seed))
+	o, err := core.NewOracleParallelSeeded(n.ig, m, opt.RRSets, opt.Workers, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +361,17 @@ func (n *InfluenceNetwork) NewInfluenceOracleWithOptions(opt OracleOptions) (*In
 }
 
 // Influence returns the oracle estimate of the influence spread of seeds.
-func (o *InfluenceOracle) Influence(seeds []int) float64 {
+// Every seed must lie in [0, NumVertices()); out-of-range seeds return an
+// error, so the oracle can be fed untrusted input (see cmd/imserve). The
+// range check happens before the internal int32 conversion, so ids beyond
+// 2^31 cannot wrap into valid vertices.
+func (o *InfluenceOracle) Influence(seeds []int) (float64, error) {
+	n := o.o.NumVertices()
+	for _, v := range seeds {
+		if v < 0 || v >= n {
+			return 0, fmt.Errorf("imdist: seed vertex %d not in [0, %d)", v, n)
+		}
+	}
 	return o.o.Influence(toVertexIDs(seeds))
 }
 
@@ -379,6 +390,55 @@ func (o *InfluenceOracle) TopVertices(topK int) ([]int, []float64) {
 // ConfidenceHalfWidth99 returns the half-width of the 99% confidence interval
 // of the oracle's influence estimates.
 func (o *InfluenceOracle) ConfidenceHalfWidth99() float64 { return o.o.ConfidenceHalfWidth(2.576) }
+
+// NumVertices returns the number of vertices of the oracle's graph.
+func (o *InfluenceOracle) NumVertices() int { return o.o.NumVertices() }
+
+// NumRRSets returns the number of reverse-reachable sets backing the oracle.
+func (o *InfluenceOracle) NumRRSets() int { return o.o.NumSets() }
+
+// Model returns the diffusion model the oracle was built under.
+func (o *InfluenceOracle) Model() DiffusionModel { return DiffusionModel(o.o.Model().String()) }
+
+// BuildSeed returns the master seed the oracle was built from.
+func (o *InfluenceOracle) BuildSeed() uint64 { return o.o.BuildSeed() }
+
+// SaveSketch serializes the oracle — its RR-set index plus build metadata —
+// to w in the versioned, checksummed binary sketch format of
+// internal/sketchio. A sketch loaded back with LoadSketch answers every
+// query byte-identically to this oracle, which is the foundation of the
+// build-once / serve-many pipeline (imsketch builds and saves, imserve loads
+// and serves).
+func (o *InfluenceOracle) SaveSketch(w io.Writer) error {
+	return sketchio.Encode(w, o.o)
+}
+
+// SaveSketchFile writes the oracle's sketch to path atomically (temp file +
+// rename), so a concurrently starting server never loads a partial sketch.
+func (o *InfluenceOracle) SaveSketchFile(path string) error {
+	return sketchio.WriteFile(path, o.o)
+}
+
+// LoadSketch reads a sketch previously written by SaveSketch. Decoding is
+// strict: version, checksum and every vertex id are validated, so corrupted
+// or truncated sketches return errors rather than building a broken oracle.
+func LoadSketch(r io.Reader) (*InfluenceOracle, error) {
+	o, err := sketchio.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &InfluenceOracle{o: o}, nil
+}
+
+// LoadSketchFile loads a sketch from path, memory-mapping the file on
+// platforms that support it.
+func LoadSketchFile(path string) (*InfluenceOracle, error) {
+	o, err := sketchio.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &InfluenceOracle{o: o}, nil
+}
 
 // StudyOptions configures a solution-distribution study (the paper's core
 // methodology): run one approach T times at a fixed sample number and look at

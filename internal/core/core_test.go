@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"imdist/internal/data"
@@ -85,7 +86,10 @@ func TestOracleInfluenceAccuracy(t *testing.T) {
 		{nil, 0},
 	}
 	for _, c := range cases {
-		got := o.Influence(c.seeds)
+		got, err := o.Influence(c.seeds)
+		if err != nil {
+			t.Fatalf("oracle Influence(%v) error: %v", c.seeds, err)
+		}
 		if math.Abs(got-c.want) > 0.15 {
 			t.Errorf("oracle Influence(%v) = %v, want approx %v", c.seeds, got, c.want)
 		}
@@ -93,6 +97,93 @@ func TestOracleInfluenceAccuracy(t *testing.T) {
 	if o.NumSets() != 200000 || o.NumVertices() != 10 {
 		t.Errorf("oracle accessors: sets=%d n=%d", o.NumSets(), o.NumVertices())
 	}
+}
+
+func TestOracleInfluenceRejectsOutOfRangeSeeds(t *testing.T) {
+	ig := twoStarGraph(t)
+	o := mustOracle(t, ig, 1000, 3)
+	for _, seeds := range [][]graph.VertexID{{-1}, {10}, {0, 42}, {0, -7, 1}} {
+		if _, err := o.Influence(seeds); !errors.Is(err, ErrSeedOutOfRange) {
+			t.Errorf("Influence(%v) err = %v, want ErrSeedOutOfRange", seeds, err)
+		}
+	}
+	if err := o.ValidateSeeds([]graph.VertexID{0, 9}); err != nil {
+		t.Errorf("ValidateSeeds(valid) = %v", err)
+	}
+}
+
+func TestOracleFromRRSets(t *testing.T) {
+	ig := twoStarGraph(t)
+	o := mustOracle(t, ig, 5000, 11)
+	sets := make([][]graph.VertexID, o.NumSets())
+	for i := range sets {
+		sets[i] = o.RRSet(i)
+	}
+	rebuilt, err := NewOracleFromRRSets(o.NumVertices(), o.Model(), 11, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rebuilt.GreedySeeds(3), o.GreedySeeds(3); len(got) != len(want) {
+		t.Fatalf("rebuilt GreedySeeds = %v, want %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rebuilt GreedySeeds = %v, want %v", got, want)
+			}
+		}
+	}
+	a, _ := rebuilt.Influence([]graph.VertexID{0, 1, 2})
+	b, _ := o.Influence([]graph.VertexID{0, 1, 2})
+	if a != b {
+		t.Errorf("rebuilt Influence = %v, want %v", a, b)
+	}
+	if rebuilt.BuildSeed() != 11 {
+		t.Errorf("BuildSeed = %d, want 11", rebuilt.BuildSeed())
+	}
+
+	if _, err := NewOracleFromRRSets(0, o.Model(), 0, sets); !errors.Is(err, ErrEmptyGraph) {
+		t.Errorf("n=0 err = %v", err)
+	}
+	if _, err := NewOracleFromRRSets(10, o.Model(), 0, nil); err == nil {
+		t.Error("zero RR sets accepted")
+	}
+	if _, err := NewOracleFromRRSets(10, o.Model(), 0, [][]graph.VertexID{{0, 12}}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+func TestOracleConcurrentQueries(t *testing.T) {
+	ig := twoStarGraph(t)
+	o := mustOracle(t, ig, 20000, 5)
+	wantInf, err := o.Influence([]graph.VertexID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeeds := o.GreedySeeds(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := o.Influence([]graph.VertexID{0, 1})
+				if err != nil || got != wantInf {
+					t.Errorf("concurrent Influence = %v, %v; want %v", got, err, wantInf)
+					return
+				}
+				if i%50 == 0 {
+					seeds := o.GreedySeeds(2)
+					for j := range seeds {
+						if seeds[j] != wantSeeds[j] {
+							t.Errorf("concurrent GreedySeeds = %v, want %v", seeds, wantSeeds)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestOracleConfidenceHalfWidth(t *testing.T) {
@@ -311,7 +402,10 @@ func TestInfluenceCurveMeanIncreases(t *testing.T) {
 func TestLeastSampleNumber(t *testing.T) {
 	ig := twoStarGraph(t)
 	o := mustOracle(t, ig, 20000, 37)
-	ref := o.Influence(o.GreedySeeds(1))
+	ref, err := o.Influence(o.GreedySeeds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	sweep, err := Sweep(RunConfig{
 		Graph: ig, Approach: estimator.Snapshot, SeedSize: 1,
 		Trials: 50, MasterSeed: 21, Oracle: o,

@@ -132,9 +132,13 @@ func runOne(cfg RunConfig, trialIndex uint64) (Trial, error) {
 	if err != nil {
 		return Trial{}, err
 	}
+	inf, err := cfg.Oracle.Influence(seeds)
+	if err != nil {
+		return Trial{}, err
+	}
 	return Trial{
 		Seeds:     seeds,
-		Influence: cfg.Oracle.Influence(seeds),
+		Influence: inf,
 		Cost:      est.Cost(),
 	}, nil
 }

@@ -17,7 +17,10 @@ func TestOracleForModelLT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inf := o.Influence([]graph.VertexID{0})
+	inf, err := o.Influence([]graph.VertexID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if inf < 1 || inf > float64(ig.NumVertices()) {
 		t.Errorf("LT oracle influence of vertex 0 = %v out of range", inf)
 	}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"imdist/internal/diffusion"
 	"imdist/internal/graph"
@@ -26,17 +27,32 @@ import (
 // every run of every algorithm, so that identical seed sets always receive
 // identical influence estimates. With R RR sets the 99% confidence interval
 // of an estimate is n·F(S) ± 1.29·n/√R.
+//
+// The query methods (Influence, GreedySeeds, TopSingleVertices) are safe for
+// concurrent use: all per-call scratch state lives in pooled buffers, never
+// on the oracle itself.
 type Oracle struct {
 	n       int
 	numSets int
+	// model and seed record how the RR sets were generated; they travel with
+	// the oracle when it is serialized (internal/sketchio).
+	model diffusion.Model
+	seed  uint64
 	// memberOf[v] lists the RR set indices containing vertex v.
 	memberOf [][]int32
-	// setSizes[i] is the size of RR set i (used for greedy coverage).
+	// rrSets[i] lists the vertices of RR set i (used for greedy coverage).
 	rrSets [][]graph.VertexID
+
+	// influencePool holds *influenceScratch, greedyPool holds *greedyScratch.
+	influencePool sync.Pool
+	greedyPool    sync.Pool
 }
 
 // ErrEmptyGraph reports an oracle request on an empty graph.
 var ErrEmptyGraph = errors.New("core: empty influence graph")
+
+// ErrSeedOutOfRange reports a caller-supplied seed vertex outside [0, n).
+var ErrSeedOutOfRange = errors.New("core: seed vertex out of range")
 
 // NewOracle builds an oracle from numSets RR sets of ig under the Independent
 // Cascade model using src for randomness. The paper uses 10^7 RR sets; the
@@ -82,10 +98,10 @@ func NewOracleParallel(ig *graph.InfluenceGraph, model diffusion.Model, numSets,
 		}
 	}
 	o := &Oracle{
-		n:        ig.NumVertices(),
-		numSets:  numSets,
-		memberOf: make([][]int32, ig.NumVertices()),
-		rrSets:   make([][]graph.VertexID, numSets),
+		n:       ig.NumVertices(),
+		numSets: numSets,
+		model:   model,
+		rrSets:  make([][]graph.VertexID, numSets),
 	}
 	if workers < 0 || workers > 1 {
 		// Per-sample derived streams (target and edge coins share one), as in
@@ -108,12 +124,72 @@ func NewOracleParallel(ig *graph.InfluenceGraph, model diffusion.Model, numSets,
 			o.rrSets[i] = sampler.Sample(targetSrc, src, nil)
 		}
 	}
+	o.buildMemberIndex()
+	return o, nil
+}
+
+// NewOracleParallelSeeded is NewOracleParallel driven by an explicit master
+// seed (the randomness is rng.NewXoshiro(seed)); the seed is recorded on the
+// oracle so serialized sketches carry their provenance.
+func NewOracleParallelSeeded(ig *graph.InfluenceGraph, model diffusion.Model, numSets, workers int, seed uint64) (*Oracle, error) {
+	o, err := NewOracleParallel(ig, model, numSets, workers, rng.NewXoshiro(seed))
+	if err != nil {
+		return nil, err
+	}
+	o.seed = seed
+	return o, nil
+}
+
+// NewOracleFromRRSets reassembles an oracle from previously generated RR sets
+// (the deserialization path of internal/sketchio). It validates every vertex
+// id against [0, n) so that a corrupted or hostile sketch cannot induce
+// out-of-bounds indexing, and takes ownership of rrSets.
+func NewOracleFromRRSets(n int, model diffusion.Model, seed uint64, rrSets [][]graph.VertexID) (*Oracle, error) {
+	if n < 1 {
+		return nil, ErrEmptyGraph
+	}
+	if len(rrSets) < 1 {
+		return nil, fmt.Errorf("core: oracle needs at least one RR set, got %d", len(rrSets))
+	}
+	for i, set := range rrSets {
+		for _, v := range set {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("core: RR set %d contains vertex %d outside [0, %d)", i, v, n)
+			}
+		}
+	}
+	o := &Oracle{
+		n:       n,
+		numSets: len(rrSets),
+		model:   model,
+		seed:    seed,
+		rrSets:  rrSets,
+	}
+	o.buildMemberIndex()
+	return o, nil
+}
+
+// buildMemberIndex derives memberOf from rrSets. Membership lists are built
+// in RR-set order, so two oracles with identical rrSets answer every query
+// identically regardless of how they were constructed.
+func (o *Oracle) buildMemberIndex() {
+	counts := make([]int32, o.n)
+	for _, set := range o.rrSets {
+		for _, v := range set {
+			counts[v]++
+		}
+	}
+	o.memberOf = make([][]int32, o.n)
+	for v := range o.memberOf {
+		if counts[v] > 0 {
+			o.memberOf[v] = make([]int32, 0, counts[v])
+		}
+	}
 	for i, set := range o.rrSets {
 		for _, v := range set {
 			o.memberOf[v] = append(o.memberOf[v], int32(i))
 		}
 	}
-	return o, nil
 }
 
 // NumSets returns the number of RR sets backing the oracle.
@@ -122,9 +198,62 @@ func (o *Oracle) NumSets() int { return o.numSets }
 // NumVertices returns the number of vertices of the underlying graph.
 func (o *Oracle) NumVertices() int { return o.n }
 
+// Model returns the diffusion model the RR sets were generated under.
+func (o *Oracle) Model() diffusion.Model { return o.model }
+
+// BuildSeed returns the master seed the oracle was built from, when known
+// (NewOracleParallelSeeded or a loaded sketch); otherwise 0.
+func (o *Oracle) BuildSeed() uint64 { return o.seed }
+
+// RRSet returns the vertices of RR set i. The returned slice is owned by the
+// oracle and must not be modified.
+func (o *Oracle) RRSet(i int) []graph.VertexID { return o.rrSets[i] }
+
+// ValidateSeeds reports whether every seed lies in [0, n).
+func (o *Oracle) ValidateSeeds(seeds []graph.VertexID) error {
+	for _, s := range seeds {
+		if s < 0 || int(s) >= o.n {
+			return fmt.Errorf("%w: vertex %d not in [0, %d)", ErrSeedOutOfRange, s, o.n)
+		}
+	}
+	return nil
+}
+
+// influenceScratch is the pooled per-call state of Influence: an epoch-
+// stamped membership array that distinct-counts covered RR sets without a
+// per-call allocation.
+type influenceScratch struct {
+	marks []int32
+	epoch int32
+}
+
+func (o *Oracle) getInfluenceScratch() *influenceScratch {
+	s, _ := o.influencePool.Get().(*influenceScratch)
+	if s == nil || len(s.marks) != o.numSets {
+		s = &influenceScratch{marks: make([]int32, o.numSets)}
+	}
+	s.epoch++
+	if s.epoch <= 0 { // epoch wrapped: reset the stamps
+		clear(s.marks)
+		s.epoch = 1
+	}
+	return s
+}
+
 // Influence returns the oracle estimate n·F(S) of the influence spread of the
-// seed set S: the fraction of RR sets intersecting S times n.
-func (o *Oracle) Influence(seeds []graph.VertexID) float64 {
+// seed set S: the fraction of RR sets intersecting S times n. Seeds are
+// validated against [0, n); an out-of-range seed returns ErrSeedOutOfRange
+// (the oracle serves untrusted callers via internal/server).
+func (o *Oracle) Influence(seeds []graph.VertexID) (float64, error) {
+	if err := o.ValidateSeeds(seeds); err != nil {
+		return 0, err
+	}
+	return o.influenceOf(seeds), nil
+}
+
+// influenceOf is Influence for pre-validated seed sets (internal callers
+// whose seeds the oracle itself produced).
+func (o *Oracle) influenceOf(seeds []graph.VertexID) float64 {
 	if len(seeds) == 0 || o.numSets == 0 {
 		return 0
 	}
@@ -132,13 +261,18 @@ func (o *Oracle) Influence(seeds []graph.VertexID) float64 {
 		// Fast path used heavily by Table 4 and the per-vertex rankings.
 		return float64(o.n) * float64(len(o.memberOf[seeds[0]])) / float64(o.numSets)
 	}
-	hit := make(map[int32]struct{}, len(seeds)*4)
-	for _, s := range seeds {
-		for _, idx := range o.memberOf[s] {
-			hit[idx] = struct{}{}
+	s := o.getInfluenceScratch()
+	hit := 0
+	for _, v := range seeds {
+		for _, idx := range o.memberOf[v] {
+			if s.marks[idx] != s.epoch {
+				s.marks[idx] = s.epoch
+				hit++
+			}
 		}
 	}
-	return float64(o.n) * float64(len(hit)) / float64(o.numSets)
+	o.influencePool.Put(s)
+	return float64(o.n) * float64(hit) / float64(o.numSets)
 }
 
 // ConfidenceHalfWidth returns the half-width of the normal-approximation
@@ -147,6 +281,27 @@ func (o *Oracle) Influence(seeds []graph.VertexID) float64 {
 // (±1.29·n/√R at 99%).
 func (o *Oracle) ConfidenceHalfWidth(z float64) float64 {
 	return float64(o.n) * stats.BinomialCI(0.5, o.numSets, z)
+}
+
+// greedyScratch is the pooled per-call state of GreedySeeds.
+type greedyScratch struct {
+	covered    []bool
+	coverCount []int32
+	chosen     []bool
+}
+
+func (o *Oracle) getGreedyScratch() *greedyScratch {
+	s, _ := o.greedyPool.Get().(*greedyScratch)
+	if s == nil || len(s.covered) != o.numSets || len(s.chosen) != o.n {
+		return &greedyScratch{
+			covered:    make([]bool, o.numSets),
+			coverCount: make([]int32, o.n),
+			chosen:     make([]bool, o.n),
+		}
+	}
+	clear(s.covered)
+	clear(s.chosen)
+	return s
 }
 
 // GreedySeeds runs greedy maximum coverage directly on the oracle's RR sets
@@ -163,12 +318,11 @@ func (o *Oracle) GreedySeeds(k int) []graph.VertexID {
 	if k > o.n {
 		k = o.n
 	}
-	covered := make([]bool, o.numSets)
-	coverCount := make([]int32, o.n)
+	s := o.getGreedyScratch()
+	covered, coverCount, chosen := s.covered, s.coverCount, s.chosen
 	for v := 0; v < o.n; v++ {
 		coverCount[v] = int32(len(o.memberOf[v]))
 	}
-	chosen := make([]bool, o.n)
 	seeds := make([]graph.VertexID, 0, k)
 	for len(seeds) < k {
 		best := -1
@@ -193,6 +347,7 @@ func (o *Oracle) GreedySeeds(k int) []graph.VertexID {
 			}
 		}
 	}
+	o.greedyPool.Put(s)
 	return seeds
 }
 
@@ -206,7 +361,7 @@ func (o *Oracle) TopSingleVertices(topK int) ([]graph.VertexID, []float64) {
 	}
 	pairs := make([]pair, o.n)
 	for v := 0; v < o.n; v++ {
-		pairs[v] = pair{graph.VertexID(v), o.Influence([]graph.VertexID{graph.VertexID(v)})}
+		pairs[v] = pair{graph.VertexID(v), o.influenceOf([]graph.VertexID{graph.VertexID(v)})}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i].inf != pairs[j].inf {

@@ -330,7 +330,10 @@ func runExactCheck(w io.Writer, env *Env) error {
 	if err != nil {
 		return err
 	}
-	got := oracle.Influence([]graph.VertexID{0})
+	got, err := oracle.Influence([]graph.VertexID{0})
+	if err != nil {
+		return err
+	}
 	return printf(w, "%-9s estimate = %.6f (error %+.4f)\n", "oracle", got, got-want)
 }
 
@@ -350,7 +353,11 @@ func runHeuristics(w io.Writer, env *Env) error {
 		return err
 	}
 	report := func(name string, seeds []graph.VertexID) error {
-		return printf(w, "%-16s %12.3f  %v\n", name, oracle.Influence(seeds), seeds)
+		inf, err := oracle.Influence(seeds)
+		if err != nil {
+			return err
+		}
+		return printf(w, "%-16s %12.3f  %v\n", name, inf, seeds)
 	}
 	// Heuristics.
 	if seeds, err := heuristics.Degree(ig.Graph, inst.K); err == nil {

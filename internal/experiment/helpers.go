@@ -77,7 +77,7 @@ func (e *Env) referenceInfluence(inst instance) (float64, error) {
 		return 0, err
 	}
 	seeds := oracle.GreedySeeds(inst.K)
-	return oracle.Influence(seeds), nil
+	return oracle.Influence(seeds)
 }
 
 // simApproaches lists Oneshot and Snapshot (the approaches whose sweep tops

@@ -1,0 +1,338 @@
+// Package server exposes a loaded RR-sketch oracle (core.Oracle) over HTTP —
+// the serve-many half of the build-once / serve-many pipeline. One process
+// loads a sketch built offline by imsketch and answers influence queries for
+// any number of clients; the oracle's query path is concurrency-safe, so a
+// single sketch in memory serves every connection.
+//
+// Endpoints (JSON):
+//
+//	POST /v1/influence  {"seeds":[0,5,9]}  -> {"influence":..,"ci99":..}
+//	POST /v1/seeds      {"k":4}            -> {"seeds":[..],"influence":..}
+//	GET  /v1/top?k=10                      -> {"vertices":[..],"influences":[..]}
+//	GET  /healthz                          -> sketch metadata + cache stats
+//
+// Results are memoized in an LRU cache keyed by canonicalized requests
+// (seed sets are sorted and deduplicated first), request bodies are
+// size-limited, and ListenAndServe drains in-flight requests on context
+// cancellation.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"imdist/internal/core"
+	"imdist/internal/graph"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheSize    = 4096
+	DefaultMaxBodyBytes = 1 << 20
+	DefaultMaxSeeds     = 100_000
+	DefaultMaxK         = 10_000
+	shutdownGrace       = 10 * time.Second
+)
+
+// Config configures a Server. The zero value of every field except Oracle
+// selects a sensible default.
+type Config struct {
+	// Oracle is the loaded sketch to serve. Required.
+	Oracle *core.Oracle
+	// CacheSize is the maximum number of memoized query results
+	// (default DefaultCacheSize; negative disables caching).
+	CacheSize int
+	// MaxBodyBytes limits request body sizes (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxSeeds limits the seed-set size of /v1/influence requests
+	// (default DefaultMaxSeeds).
+	MaxSeeds int
+	// MaxK limits k for /v1/seeds and /v1/top (default DefaultMaxK).
+	MaxK int
+}
+
+// Server answers oracle queries over HTTP.
+type Server struct {
+	oracle *core.Oracle
+	cache  *lruCache
+	cfg    Config
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New validates cfg, fills in defaults and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Oracle == nil {
+		return nil, errors.New("server: Config.Oracle is required")
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxSeeds == 0 {
+		cfg.MaxSeeds = DefaultMaxSeeds
+	}
+	if cfg.MaxK == 0 {
+		cfg.MaxK = DefaultMaxK
+	}
+	s := &Server{
+		oracle: cfg.Oracle,
+		cache:  newLRUCache(cfg.CacheSize),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/influence", s.handleInfluence)
+	s.mux.HandleFunc("POST /v1/seeds", s.handleSeeds)
+	s.mux.HandleFunc("GET /v1/top", s.handleTop)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests for up to shutdownGrace.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a size-limited JSON body into v.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// canonicalSeeds sorts and deduplicates seeds so equivalent seed sets share
+// one cache entry and one oracle evaluation.
+func canonicalSeeds(seeds []int) []graph.VertexID {
+	out := make([]graph.VertexID, len(seeds))
+	for i, v := range seeds {
+		out[i] = graph.VertexID(v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+func seedsKey(seeds []graph.VertexID) string {
+	var b strings.Builder
+	b.Grow(len(seeds)*8 + 2)
+	b.WriteString("s:")
+	for i, v := range seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
+}
+
+type influenceRequest struct {
+	Seeds []int `json:"seeds"`
+}
+
+type influenceResponse struct {
+	Influence float64 `json:"influence"`
+	CI99      float64 `json:"ci99"`
+	Seeds     int     `json:"seeds"`
+}
+
+func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	var req influenceRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeError(w, http.StatusBadRequest, "seeds must be non-empty")
+		return
+	}
+	if len(req.Seeds) > s.cfg.MaxSeeds {
+		writeError(w, http.StatusBadRequest, "too many seeds: %d > %d", len(req.Seeds), s.cfg.MaxSeeds)
+		return
+	}
+	for _, v := range req.Seeds {
+		// Reject before the int32 conversion in canonicalSeeds can wrap.
+		if v < 0 || v >= s.oracle.NumVertices() {
+			writeError(w, http.StatusBadRequest, "seed vertex %d not in [0, %d)", v, s.oracle.NumVertices())
+			return
+		}
+	}
+	seeds := canonicalSeeds(req.Seeds)
+	key := seedsKey(seeds)
+	if v, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	inf, err := s.oracle.Influence(seeds)
+	if err != nil {
+		// Unreachable after the range check above, but the oracle's own
+		// validation is the final authority.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := influenceResponse{
+		Influence: inf,
+		CI99:      s.oracle.ConfidenceHalfWidth(2.576),
+		Seeds:     len(seeds),
+	}
+	s.cache.Put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type seedsRequest struct {
+	K int `json:"k"`
+}
+
+type seedsResponse struct {
+	Seeds     []int   `json:"seeds"`
+	Influence float64 `json:"influence"`
+}
+
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	var req seedsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.K < 1 || req.K > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", s.cfg.MaxK, req.K)
+		return
+	}
+	key := "g:" + strconv.Itoa(req.K)
+	if v, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	seeds := s.oracle.GreedySeeds(req.K)
+	inf, err := s.oracle.Influence(seeds)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]int, len(seeds))
+	for i, v := range seeds {
+		out[i] = int(v)
+	}
+	resp := seedsResponse{Seeds: out, Influence: inf}
+	s.cache.Put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type topResponse struct {
+	Vertices   []int     `json:"vertices"`
+	Influences []float64 `json:"influences"`
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		parsed, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid k %q", q)
+			return
+		}
+		k = parsed
+	}
+	if k < 1 || k > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", s.cfg.MaxK, k)
+		return
+	}
+	key := "t:" + strconv.Itoa(k)
+	if v, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	vs, infs := s.oracle.TopSingleVertices(k)
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	resp := topResponse{Vertices: out, Influences: infs}
+	s.cache.Put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	Vertices      int     `json:"vertices"`
+	RRSets        int     `json:"rr_sets"`
+	Model         string  `json:"model"`
+	BuildSeed     uint64  `json:"build_seed"`
+	CI99          float64 `json:"ci99"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheSize     int     `json:"cache_size"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.Stats()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		Vertices:      s.oracle.NumVertices(),
+		RRSets:        s.oracle.NumSets(),
+		Model:         s.oracle.Model().String(),
+		BuildSeed:     s.oracle.BuildSeed(),
+		CI99:          s.oracle.ConfidenceHalfWidth(2.576),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheSize:     size,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"imdist/internal/core"
+	"imdist/internal/data"
+	"imdist/internal/diffusion"
+	"imdist/internal/sketchio"
+	"imdist/internal/workload"
+)
+
+func karateOracle(t testing.TB) *core.Oracle {
+	t.Helper()
+	ig, err := workload.Assign(data.Karate(), workload.IWC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := core.NewOracleParallelSeeded(ig, diffusion.IC, 20000, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// loadedKarateOracle round-trips the oracle through the sketch codec, so the
+// server tests exercise exactly what imserve serves: a loaded sketch.
+func loadedKarateOracle(t testing.TB) *core.Oracle {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sketchio.Encode(&buf, karateOracle(t)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := sketchio.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func newTestServer(t testing.TB, cfg Config) *httptest.Server {
+	t.Helper()
+	if cfg.Oracle == nil {
+		cfg.Oracle = loadedKarateOracle(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t testing.TB, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestInfluenceEndpoint(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle})
+
+	status, raw := postJSON(t, ts.URL+"/v1/influence", `{"seeds":[33,0,33]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, raw)
+	}
+	var got influenceResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.Influence(canonicalSeeds([]int{0, 33}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Influence != want {
+		t.Errorf("influence = %v, want %v", got.Influence, want)
+	}
+	if got.Seeds != 2 {
+		t.Errorf("canonical seed count = %d, want 2 (deduplicated)", got.Seeds)
+	}
+
+	// A permutation of the same seed set must hit the cache (same canonical
+	// key) and return the identical response.
+	status, raw2 := postJSON(t, ts.URL+"/v1/influence", `{"seeds":[0,33]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Errorf("permuted seed set got different response: %s vs %s", raw, raw2)
+	}
+}
+
+func TestInfluenceRejectsBadInput(t *testing.T) {
+	ts := newTestServer(t, Config{MaxSeeds: 4})
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"empty seeds", `{"seeds":[]}`, http.StatusBadRequest},
+		{"missing seeds", `{}`, http.StatusBadRequest},
+		{"out of range high", `{"seeds":[34]}`, http.StatusBadRequest},
+		{"out of range negative", `{"seeds":[-1]}`, http.StatusBadRequest},
+		{"overflowing id", `{"seeds":[4294967296]}`, http.StatusBadRequest},
+		{"too many seeds", `{"seeds":[0,1,2,3,4]}`, http.StatusBadRequest},
+		{"unknown field", `{"seedz":[1]}`, http.StatusBadRequest},
+		{"not json", `seeds=1`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, raw := postJSON(t, ts.URL+"/v1/influence", c.body)
+			if status != c.wantStatus {
+				t.Errorf("status = %d, want %d (body %s)", status, c.wantStatus, raw)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+				t.Errorf("expected JSON error body, got %s", raw)
+			}
+		})
+	}
+}
+
+func TestInfluenceBodyLimit(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	big := `{"seeds":[` + strings.Repeat("1,", 100) + `1]}`
+	status, _ := postJSON(t, ts.URL+"/v1/influence", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", status)
+	}
+}
+
+func TestSeedsEndpoint(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle})
+	status, raw := postJSON(t, ts.URL+"/v1/seeds", `{"k":4}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, raw)
+	}
+	var got seedsResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	wantSeeds := oracle.GreedySeeds(4)
+	if len(got.Seeds) != 4 {
+		t.Fatalf("seeds = %v", got.Seeds)
+	}
+	for i := range wantSeeds {
+		if got.Seeds[i] != int(wantSeeds[i]) {
+			t.Errorf("seeds = %v, want %v", got.Seeds, wantSeeds)
+			break
+		}
+	}
+
+	for _, body := range []string{`{"k":0}`, `{"k":-3}`, `{"k":1000000}`} {
+		if status, _ := postJSON(t, ts.URL+"/v1/seeds", body); status != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d, want 400", body, status)
+		}
+	}
+}
+
+func TestTopEndpoint(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle})
+	resp, err := http.Get(ts.URL + "/v1/top?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got topResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantI := oracle.TopSingleVertices(3)
+	if len(got.Vertices) != 3 || !reflect.DeepEqual(got.Influences, wantI) {
+		t.Errorf("top = %v/%v, want %v/%v", got.Vertices, got.Influences, wantV, wantI)
+	}
+
+	for _, q := range []string{"?k=0", "?k=abc", "?k=99999999"} {
+		resp, err := http.Get(ts.URL + "/v1/top" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("k query %q: status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "ok" || got.Vertices != 34 || got.RRSets != 20000 || got.Model != "IC" || got.BuildSeed != 7 {
+		t.Errorf("healthz = %+v", got)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/influence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/influence status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentInfluence is the acceptance test: many goroutines hammer
+// /v1/influence (plus /v1/seeds and /v1/top) against one loaded sketch under
+// -race, and every response must equal the serial answer.
+func TestConcurrentInfluence(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle, CacheSize: 8})
+
+	type want struct {
+		body string
+		inf  float64
+	}
+	var wants []want
+	for _, seeds := range [][]int{{0}, {0, 33}, {1, 2, 3}, {32, 33}, {5, 11, 17, 23}} {
+		inf, err := oracle.Influence(canonicalSeeds(seeds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(influenceRequest{Seeds: seeds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, want{body: string(raw), inf: inf})
+	}
+
+	const goroutines = 16
+	const iters = 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < iters; i++ {
+				w := wants[(g+i)%len(wants)]
+				resp, err := client.Post(ts.URL+"/v1/influence", "application/json", strings.NewReader(w.body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var got influenceResponse
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Influence != w.inf {
+					t.Errorf("concurrent influence for %s = %v, want %v", w.body, got.Influence, w.inf)
+					return
+				}
+				if i%20 == 0 {
+					resp, err := client.Post(ts.URL+"/v1/seeds", "application/json", strings.NewReader(fmt.Sprintf(`{"k":%d}`, 1+g%4)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					resp, err = client.Get(ts.URL + "/v1/top?k=5")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestNewRequiresOracle(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without oracle succeeded")
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted out of LRU order")
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Error("Put did not update existing entry")
+	}
+	hits, misses, size := c.Stats()
+	if size != 2 || hits == 0 || misses == 0 {
+		t.Errorf("Stats = %d hits, %d misses, size %d", hits, misses, size)
+	}
+
+	// Disabled cache never stores.
+	d := newLRUCache(0)
+	d.Put("x", 1)
+	if _, ok := d.Get("x"); ok {
+		t.Error("disabled cache returned a value")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package sketchio
+
+import "os"
+
+// mmapFile is unavailable on this platform; ReadFile streams instead.
+func mmapFile(_ *os.File) (data []byte, unmap func(), ok bool) {
+	return nil, nil, false
+}

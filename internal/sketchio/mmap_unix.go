@@ -1,0 +1,27 @@
+//go:build unix
+
+package sketchio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only into memory. It returns ok=false (caller falls
+// back to streaming reads) for empty or oversized files and on any mmap
+// failure; mapping is an optimization, never a requirement.
+func mmapFile(f *os.File) (data []byte, unmap func(), ok bool) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, false
+	}
+	size := fi.Size()
+	if size <= 0 || size > 1<<46 || int64(int(size)) != size {
+		return nil, nil, false
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return data, func() { _ = syscall.Munmap(data) }, true
+}

@@ -1,0 +1,312 @@
+// Package sketchio serializes the RR-set influence oracle (core.Oracle) to a
+// versioned binary "sketch" file and loads it back, enabling the
+// build-once / serve-many pipeline: an expensive sketch build (imsketch)
+// runs offline, and any number of query servers (imserve) load the resulting
+// artifact and answer influence queries without touching the graph again.
+//
+// # Format (version 1, little endian)
+//
+//	offset  size  field
+//	0       4     magic "IMSK"
+//	4       2     format version (1)
+//	6       1     diffusion model (0 = IC, 1 = LT)
+//	7       1     reserved (0)
+//	8       8     build seed
+//	16      8     number of vertices n
+//	24      8     number of RR sets R
+//	32      8     payload length in bytes
+//	40      ...   R records: uint32 count, then count × int32 vertex ids
+//	40+len  4     CRC-32C (Castagnoli) of everything before it
+//
+// Every record and the payload as a whole are length-prefixed, so a reader
+// can stream the file without buffering it and reject truncation early; the
+// trailing checksum catches bit rot. Decoding is strict: unknown versions,
+// out-of-range vertex ids, impossible lengths and trailing garbage are all
+// errors, never panics — sketches may come from untrusted storage.
+package sketchio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"imdist/internal/core"
+	"imdist/internal/diffusion"
+	"imdist/internal/graph"
+)
+
+// Version is the current sketch format version.
+const Version = 1
+
+const (
+	headerLen = 40
+	magic     = "IMSK"
+	// maxRecordBuf caps the per-record read buffer a hostile count field can
+	// request before validation against n kicks in.
+	maxRecordBuf = 1 << 26 // 64 MiB, i.e. 2^24 vertices per RR set
+)
+
+// Decode errors. Errors wrapping ErrCorrupt carry a position/detail message.
+var (
+	ErrBadMagic    = errors.New("sketchio: not a sketch file (bad magic)")
+	ErrVersion     = errors.New("sketchio: unsupported sketch version")
+	ErrCorrupt     = errors.New("sketchio: corrupt sketch")
+	ErrChecksum    = errors.New("sketchio: checksum mismatch")
+	errNilOracle   = errors.New("sketchio: nil oracle")
+	castagnoliTab  = crc32.MakeTable(crc32.Castagnoli)
+	errShortSketch = fmt.Errorf("%w: truncated file", ErrCorrupt)
+)
+
+// EncodedSize returns the exact on-disk size in bytes of o's sketch.
+func EncodedSize(o *core.Oracle) int64 {
+	var payload int64
+	for i := 0; i < o.NumSets(); i++ {
+		payload += 4 + 4*int64(len(o.RRSet(i)))
+	}
+	return headerLen + payload + 4
+}
+
+// Encode writes o as a sketch to w.
+func Encode(w io.Writer, o *core.Oracle) error {
+	if o == nil {
+		return errNilOracle
+	}
+	crc := crc32.New(castagnoliTab)
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+
+	var payload uint64
+	for i := 0; i < o.NumSets(); i++ {
+		payload += 4 + 4*uint64(len(o.RRSet(i)))
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	hdr[6] = byte(o.Model())
+	binary.LittleEndian.PutUint64(hdr[8:], o.BuildSeed())
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(o.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(o.NumSets()))
+	binary.LittleEndian.PutUint64(hdr[32:], payload)
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+
+	var scratch []byte
+	for i := 0; i < o.NumSets(); i++ {
+		set := o.RRSet(i)
+		need := 4 + 4*len(set)
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		binary.LittleEndian.PutUint32(buf, uint32(len(set)))
+		for j, v := range set {
+			binary.LittleEndian.PutUint32(buf[4+4*j:], uint32(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	// The checksum covers header + payload; flush so crc has seen them all.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// WriteFile atomically writes o's sketch to path: it encodes into a
+// temporary file in the same directory and renames it into place, so readers
+// never observe a half-written sketch.
+func WriteFile(path string, o *core.Oracle) error {
+	dir, base := splitPath(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Encode(tmp, o); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func splitPath(path string) (dir, base string) {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1], path[i+1:]
+		}
+	}
+	return ".", path
+}
+
+// header is the decoded fixed-size sketch header.
+type header struct {
+	model      diffusion.Model
+	seed       uint64
+	n          int
+	numSets    int
+	payloadLen uint64
+}
+
+func parseHeader(hdr []byte) (header, error) {
+	var h header
+	if string(hdr[:4]) != magic {
+		return h, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
+		return h, fmt.Errorf("%w: got %d, support %d", ErrVersion, v, Version)
+	}
+	switch diffusion.Model(hdr[6]) {
+	case diffusion.IC, diffusion.LT:
+		h.model = diffusion.Model(hdr[6])
+	default:
+		return h, fmt.Errorf("%w: unknown diffusion model %d", ErrCorrupt, hdr[6])
+	}
+	if hdr[7] != 0 {
+		return h, fmt.Errorf("%w: nonzero reserved byte", ErrCorrupt)
+	}
+	h.seed = binary.LittleEndian.Uint64(hdr[8:])
+	n := binary.LittleEndian.Uint64(hdr[16:])
+	numSets := binary.LittleEndian.Uint64(hdr[24:])
+	h.payloadLen = binary.LittleEndian.Uint64(hdr[32:])
+	if n < 1 || n > math.MaxInt32 {
+		return h, fmt.Errorf("%w: vertex count %d outside [1, 2^31)", ErrCorrupt, n)
+	}
+	if numSets < 1 || numSets > math.MaxInt32 {
+		return h, fmt.Errorf("%w: RR-set count %d outside [1, 2^31)", ErrCorrupt, numSets)
+	}
+	// Each record is at least a 4-byte count; a payload shorter than that is
+	// impossible, as is one above 2^56 bytes.
+	if h.payloadLen < 4*numSets || h.payloadLen > 1<<56 {
+		return h, fmt.Errorf("%w: payload length %d impossible for %d RR sets", ErrCorrupt, h.payloadLen, numSets)
+	}
+	h.n = int(n)
+	h.numSets = int(numSets)
+	return h, nil
+}
+
+// Decode reads a sketch from r and reassembles the oracle. It streams: the
+// payload is consumed record by record with strict bounds checks, and the
+// trailing CRC-32C is verified against the bytes actually read.
+func Decode(r io.Reader) (*core.Oracle, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	crc := crc32.New(castagnoliTab)
+	tee := io.TeeReader(br, crc)
+
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(tee, hdr); err != nil {
+		return nil, readErr(err)
+	}
+	h, err := parseHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+
+	rrSets, err := readRecords(tee, h)
+	if err != nil {
+		return nil, err
+	}
+
+	// The stored checksum itself is read past the tee so it does not feed
+	// back into the digest.
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, readErr(err)
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != crc.Sum32() {
+		return nil, ErrChecksum
+	}
+	return core.NewOracleFromRRSets(h.n, h.model, h.seed, rrSets)
+}
+
+func readRecords(tee io.Reader, h header) ([][]graph.VertexID, error) {
+	rrSets := make([][]graph.VertexID, h.numSets)
+	remaining := h.payloadLen
+	var lenBuf [4]byte
+	var recBuf []byte
+	for i := 0; i < h.numSets; i++ {
+		if remaining < 4 {
+			return nil, fmt.Errorf("%w: payload exhausted at RR set %d", ErrCorrupt, i)
+		}
+		if _, err := io.ReadFull(tee, lenBuf[:]); err != nil {
+			return nil, readErr(err)
+		}
+		remaining -= 4
+		count := binary.LittleEndian.Uint32(lenBuf[:])
+		// An RR set holds distinct vertices, so its size cannot exceed n —
+		// this also bounds the buffer a hostile count can request.
+		if uint64(count) > uint64(h.n) {
+			return nil, fmt.Errorf("%w: RR set %d claims %d members on a %d-vertex graph", ErrCorrupt, i, count, h.n)
+		}
+		need := 4 * uint64(count)
+		if need > remaining {
+			return nil, fmt.Errorf("%w: RR set %d overruns payload", ErrCorrupt, i)
+		}
+		if need > maxRecordBuf {
+			return nil, fmt.Errorf("%w: RR set %d record of %d bytes exceeds limit", ErrCorrupt, i, need)
+		}
+		if uint64(cap(recBuf)) < need {
+			recBuf = make([]byte, need)
+		}
+		buf := recBuf[:need]
+		if _, err := io.ReadFull(tee, buf); err != nil {
+			return nil, readErr(err)
+		}
+		remaining -= need
+		set := make([]graph.VertexID, count)
+		for j := range set {
+			v := binary.LittleEndian.Uint32(buf[4*j:])
+			if uint64(v) >= uint64(h.n) {
+				return nil, fmt.Errorf("%w: RR set %d contains vertex %d outside [0, %d)", ErrCorrupt, i, v, h.n)
+			}
+			set[j] = graph.VertexID(v)
+		}
+		rrSets[i] = set
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("%w: %d unread payload bytes after last RR set", ErrCorrupt, remaining)
+	}
+	return rrSets, nil
+}
+
+func readErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return errShortSketch
+	}
+	return err
+}
+
+// DecodeBytes decodes a sketch held entirely in memory (for example a
+// memory-mapped file).
+func DecodeBytes(data []byte) (*core.Oracle, error) {
+	return Decode(bytes.NewReader(data))
+}
+
+// ReadFile loads a sketch from path. On platforms with mmap support the file
+// is memory-mapped while decoding, so the page cache is shared across
+// processes loading the same sketch and no intermediate copy of the file is
+// held; elsewhere it falls back to streaming from the file.
+func ReadFile(path string) (*core.Oracle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if data, unmap, ok := mmapFile(f); ok {
+		defer unmap()
+		return DecodeBytes(data)
+	}
+	return Decode(f)
+}

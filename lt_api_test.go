@@ -32,7 +32,7 @@ func TestLinearThresholdThroughPublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s (LT): %v", a, err)
 		}
-		inf := oracle.Influence(res.Seeds)
+		inf := mustInfluence(t, oracle, res.Seeds)
 		if inf <= 2 || inf > 34 {
 			t.Errorf("%s (LT): influence of %v = %v out of plausible range", a, res.Seeds, inf)
 		}
@@ -89,8 +89,8 @@ func TestLTAndICGiveDifferentSpreads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	icInf := icOracle.Influence([]int{0})
-	ltInf := ltOracle.Influence([]int{0})
+	icInf := mustInfluence(t, icOracle, []int{0})
+	ltInf := mustInfluence(t, ltOracle, []int{0})
 	if math.Abs(icInf-2.4375) > 0.03 {
 		t.Errorf("IC spread of vertex 0 = %v, want approx 2.4375", icInf)
 	}

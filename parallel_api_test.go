@@ -138,9 +138,9 @@ func TestOracleParallelDeterminism(t *testing.T) {
 		}
 		out := make([]float64, 0, len(probe)+1)
 		for _, v := range probe {
-			out = append(out, oracle.Influence([]int{v}))
+			out = append(out, mustInfluence(t, oracle, []int{v}))
 		}
-		return append(out, oracle.Influence(probe))
+		return append(out, mustInfluence(t, oracle, probe))
 	}
 	ref := build(4)
 	for _, workers := range []int{4, 2, -1} {

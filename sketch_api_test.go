@@ -1,0 +1,80 @@
+package imdist
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSketchRoundTrip checks the public build-once / serve-many contract: a
+// sketch saved with SaveSketch and loaded with LoadSketch answers every query
+// byte-identically to the oracle it came from.
+func TestSketchRoundTrip(t *testing.T) {
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 20000, Seed: 17, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := oracle.SaveSketch(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.NumVertices() != oracle.NumVertices() || loaded.NumRRSets() != oracle.NumRRSets() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			loaded.NumVertices(), loaded.NumRRSets(), oracle.NumVertices(), oracle.NumRRSets())
+	}
+	if loaded.Model() != IC || loaded.BuildSeed() != 17 {
+		t.Errorf("metadata: model=%s seed=%d", loaded.Model(), loaded.BuildSeed())
+	}
+	for _, k := range []int{1, 2, 4} {
+		if !reflect.DeepEqual(loaded.GreedySeeds(k), oracle.GreedySeeds(k)) {
+			t.Fatalf("GreedySeeds(%d) diverged after round trip", k)
+		}
+	}
+	for _, seeds := range [][]int{{0}, {0, 33}, {1, 2, 3, 4}} {
+		if got, want := mustInfluence(t, loaded, seeds), mustInfluence(t, oracle, seeds); got != want {
+			t.Errorf("Influence(%v) = %v, want %v", seeds, got, want)
+		}
+	}
+	if loaded.ConfidenceHalfWidth99() != oracle.ConfidenceHalfWidth99() {
+		t.Error("confidence half-width diverged after round trip")
+	}
+}
+
+func TestSketchFileRoundTrip(t *testing.T) {
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracle(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "karate.sketch")
+	if err := oracle.SaveSketchFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSketchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.GreedySeeds(4), oracle.GreedySeeds(4)) {
+		t.Error("GreedySeeds diverged after file round trip")
+	}
+}
+
+func TestInfluenceRejectsOutOfRange(t *testing.T) {
+	ig := karateUC(t)
+	oracle, err := ig.NewInfluenceOracle(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seeds := range [][]int{{-1}, {34}, {0, 1 << 40}} {
+		if _, err := oracle.Influence(seeds); err == nil {
+			t.Errorf("Influence(%v) accepted out-of-range seeds", seeds)
+		}
+	}
+}
