@@ -1,0 +1,84 @@
+package imdist
+
+import (
+	"strings"
+	"testing"
+)
+
+func batchTestOracle(t *testing.T) *InfluenceOracle {
+	t.Helper()
+	network, err := LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("iwc", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 20000, Seed: 5, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oracle
+}
+
+// TestBatchInfluenceMatchesLoopedInfluence pins the public API's batch
+// guarantee: for every worker count, BatchInfluence equals a loop of
+// Influence calls bit for bit.
+func TestBatchInfluenceMatchesLoopedInfluence(t *testing.T) {
+	oracle := batchTestOracle(t)
+	queries := [][]int{{0}, {33}, {0, 33}, {1, 2, 3}, {5, 11, 17, 23, 29}, {33, 33, 0}}
+	want := make([]float64, len(queries))
+	for i, seeds := range queries {
+		inf, err := oracle.Influence(seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = inf
+	}
+	for _, workers := range []int{0, 1, 2, -1} {
+		values, errs := oracle.BatchInfluence(queries, workers)
+		for i := range queries {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d query %d: %v", workers, i, errs[i])
+			}
+			if values[i] != want[i] {
+				t.Errorf("workers=%d query %d = %v, want %v", workers, i, values[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchInfluencePerItemErrors checks the public API's per-item error
+// semantics, including the pre-conversion range check for huge ids.
+func TestBatchInfluencePerItemErrors(t *testing.T) {
+	oracle := batchTestOracle(t)
+	queries := [][]int{
+		{0, 1},
+		{-1},
+		{34},
+		{1 << 40}, // must not wrap through the int32 conversion
+		{33},
+	}
+	values, errs := oracle.BatchInfluence(queries, 2)
+	for _, bad := range []int{1, 2, 3} {
+		if errs[bad] == nil || !strings.Contains(errs[bad].Error(), "not in [0, 34)") {
+			t.Errorf("errs[%d] = %v, want range error", bad, errs[bad])
+		}
+		if values[bad] != 0 {
+			t.Errorf("values[%d] = %v, want 0", bad, values[bad])
+		}
+	}
+	for _, good := range []int{0, 4} {
+		if errs[good] != nil {
+			t.Errorf("errs[%d] = %v, want nil", good, errs[good])
+		}
+		want, err := oracle.Influence(queries[good])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if values[good] != want {
+			t.Errorf("values[%d] = %v, want %v", good, values[good], want)
+		}
+	}
+}

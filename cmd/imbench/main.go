@@ -1,0 +1,390 @@
+// Command imbench is a closed-loop load driver for the influence server: it
+// generates a reproducible seed-set workload (internal/workload mixes),
+// replays it against a running imserve instance — or against an in-process
+// server loaded from a sketch file — and reports throughput and latency
+// quantiles as a JSON document suitable for trend tracking in CI.
+//
+// The driver is closed-loop: each of -concurrency clients issues its next
+// request only after the previous one completes, so reported latencies are
+// uncontaminated by client-side queueing.
+//
+// Usage:
+//
+//	imbench -addr http://localhost:8080 -mix hotspot -queries 1024 -batch 64
+//	imbench -sketch karate.sketch -mode both -out report.json
+//
+// With -mode both, the same query stream is replayed twice — once as
+// sequential POST /v1/influence requests and once as POST /v1/influence:batch
+// requests of -batch queries each — and the report includes the batch speedup
+// (single-mode duration / batch-mode duration). The in-process server
+// (-sketch) runs with its LRU cache disabled so the report measures the
+// query engines rather than cache lookups. Against an external server
+// (-addr) the cache is whatever the server was started with; the single pass
+// runs first, so a warm cache there inflates the batch numbers — disable the
+// server's cache (imserve -cache -1) for an engine-to-engine comparison.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imdist/internal/graph"
+	"imdist/internal/rng"
+	"imdist/internal/server"
+	"imdist/internal/sketchio"
+	"imdist/internal/stats"
+	"imdist/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "imbench:", err)
+		os.Exit(1)
+	}
+}
+
+// latencyReport summarizes per-request latencies in milliseconds.
+type latencyReport struct {
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// modeReport is the outcome of replaying the workload in one request mode.
+type modeReport struct {
+	Requests          int           `json:"requests"`
+	Queries           int           `json:"queries"`
+	Errors            int           `json:"errors"`
+	DurationSeconds   float64       `json:"duration_seconds"`
+	RequestsPerSecond float64       `json:"requests_per_second"`
+	QueriesPerSecond  float64       `json:"queries_per_second"`
+	Latency           latencyReport `json:"latency"`
+}
+
+// report is the JSON document imbench emits.
+type report struct {
+	Target       string      `json:"target"`
+	Mix          string      `json:"mix"`
+	Queries      int         `json:"queries"`
+	MaxSeeds     int         `json:"max_seeds"`
+	BatchSize    int         `json:"batch_size"`
+	Concurrency  int         `json:"concurrency"`
+	Seed         uint64      `json:"seed"`
+	Vertices     int         `json:"vertices"`
+	RRSets       int         `json:"rr_sets"`
+	Single       *modeReport `json:"single,omitempty"`
+	Batch        *modeReport `json:"batch,omitempty"`
+	BatchSpeedup float64     `json:"batch_speedup,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("imbench", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "", "base URL of a running imserve (e.g. http://localhost:8080)")
+		sketch      = fs.String("sketch", "", "drive an in-process server loaded from this sketch file (alternative to -addr)")
+		mix         = fs.String("mix", "uniform", "seed-set mix: uniform, hotspot or singleton")
+		queries     = fs.Int("queries", 256, "number of seed-set queries in the workload")
+		maxSeeds    = fs.Int("max-seeds", 8, "maximum seeds per query")
+		batch       = fs.Int("batch", 64, "queries per /v1/influence:batch request")
+		concurrency = fs.Int("concurrency", 1, "closed-loop client goroutines")
+		mode        = fs.String("mode", "both", "request mode: single, batch or both")
+		seed        = fs.Uint64("seed", 1, "workload generation seed (equal seeds replay identical query streams)")
+		out         = fs.String("out", "", "write the JSON report to this file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := workload.ParseMix(*mix)
+	if err != nil {
+		return err
+	}
+	if *queries < 1 {
+		return fmt.Errorf("-queries must be >= 1, got %d", *queries)
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", *batch)
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1, got %d", *concurrency)
+	}
+	if *mode != "single" && *mode != "batch" && *mode != "both" {
+		return fmt.Errorf("-mode must be single, batch or both, got %q", *mode)
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	switch {
+	case *sketch != "" && *addr != "":
+		return fmt.Errorf("-addr and -sketch are mutually exclusive")
+	case *sketch != "":
+		stop, inproc, err := startInProcess(*sketch)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = inproc
+	case *addr == "":
+		return fmt.Errorf("either -addr or -sketch is required")
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	health, err := fetchHealth(client, base)
+	if err != nil {
+		return fmt.Errorf("probing %s/healthz: %w", base, err)
+	}
+
+	seedSets, err := workload.SeedSets(m, health.Vertices, *queries, *maxSeeds, rng.NewXoshiro(*seed))
+	if err != nil {
+		return err
+	}
+	bodies := encodeSingleBodies(seedSets)
+	batchBodies, batchCounts, err := encodeBatchBodies(seedSets, *batch)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Target:      base,
+		Mix:         m.String(),
+		Queries:     *queries,
+		MaxSeeds:    *maxSeeds,
+		BatchSize:   *batch,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Vertices:    health.Vertices,
+		RRSets:      health.RRSets,
+	}
+	if *mode == "single" || *mode == "both" {
+		r := replay(client, base+"/v1/influence", bodies, nil, *concurrency)
+		rep.Single = &r
+	}
+	if *mode == "batch" || *mode == "both" {
+		r := replay(client, base+"/v1/influence:batch", batchBodies, batchCounts, *concurrency)
+		rep.Batch = &r
+	}
+	if rep.Single != nil && rep.Batch != nil && rep.Batch.DurationSeconds > 0 {
+		rep.BatchSpeedup = rep.Single.DurationSeconds / rep.Batch.DurationSeconds
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, enc, 0o644)
+	}
+	_, err = stdout.Write(enc)
+	return err
+}
+
+// startInProcess loads a sketch and serves it from a loopback listener inside
+// this process, so CI can benchmark the full HTTP path without orchestrating
+// a second process. The LRU cache is disabled: with it on, the first replay
+// pass would warm it and later passes would measure cache lookups instead of
+// the query engines. It returns a shutdown func and the server's base URL.
+func startInProcess(path string) (func(), string, error) {
+	oracle, err := sketchio.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("loading sketch %s: %w", path, err)
+	}
+	srv, err := server.New(server.Config{Oracle: oracle, CacheSize: -1})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() { _ = hs.Close() }
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+type healthInfo struct {
+	Vertices int `json:"vertices"`
+	RRSets   int `json:"rr_sets"`
+}
+
+func fetchHealth(client *http.Client, base string) (healthInfo, error) {
+	var h healthInfo
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, err
+	}
+	if h.Vertices < 1 {
+		return h, fmt.Errorf("server reports %d vertices", h.Vertices)
+	}
+	return h, nil
+}
+
+type influenceRequest struct {
+	Seeds []int `json:"seeds"`
+}
+
+func toRequest(seeds []graph.VertexID) influenceRequest {
+	out := make([]int, len(seeds))
+	for i, v := range seeds {
+		out[i] = int(v)
+	}
+	return influenceRequest{Seeds: out}
+}
+
+// encodeSingleBodies pre-marshals one /v1/influence body per query, so the
+// replay loop measures the server, not the client's JSON encoder.
+func encodeSingleBodies(seedSets [][]graph.VertexID) [][]byte {
+	bodies := make([][]byte, len(seedSets))
+	for i, seeds := range seedSets {
+		bodies[i], _ = json.Marshal(toRequest(seeds))
+	}
+	return bodies
+}
+
+// encodeBatchBodies chunks the query stream into /v1/influence:batch bodies
+// of up to batch queries each, returning the bodies and per-body query counts.
+func encodeBatchBodies(seedSets [][]graph.VertexID, batch int) ([][]byte, []int, error) {
+	var bodies [][]byte
+	var counts []int
+	for start := 0; start < len(seedSets); start += batch {
+		end := start + batch
+		if end > len(seedSets) {
+			end = len(seedSets)
+		}
+		reqs := make([]influenceRequest, 0, end-start)
+		for _, seeds := range seedSets[start:end] {
+			reqs = append(reqs, toRequest(seeds))
+		}
+		body, err := json.Marshal(reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies = append(bodies, body)
+		counts = append(counts, end-start)
+	}
+	return bodies, counts, nil
+}
+
+// replay issues every body against url from concurrency closed-loop clients,
+// pulling work from a shared counter, and aggregates latencies and errors. A
+// request errs when the transport fails, the status is not 200, or (batch
+// mode) any item in the response carries a per-item error. Failed requests
+// count only toward Errors: the latency quantiles and the throughput rates
+// aggregate successful requests exclusively, so a run that hits errors shows
+// degraded numbers plus a non-zero Errors field rather than fast-failing its
+// way to an apparent improvement. queryCounts gives the number of queries
+// each body carries; nil means one query per body (single mode).
+func replay(client *http.Client, url string, bodies [][]byte, queryCounts []int, concurrency int) modeReport {
+	latencies := make([]float64, len(bodies))
+	oks := make([]bool, len(bodies))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bodies) {
+					return
+				}
+				t0 := time.Now()
+				oks[i] = issue(client, url, bodies[i])
+				latencies[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	okRequests, okQueries := 0, 0
+	okLatencies := make([]float64, 0, len(bodies))
+	for i, ok := range oks {
+		if !ok {
+			continue
+		}
+		okRequests++
+		if queryCounts != nil {
+			okQueries += queryCounts[i]
+		} else {
+			okQueries++
+		}
+		okLatencies = append(okLatencies, latencies[i])
+	}
+	totalQueries := len(bodies)
+	if queryCounts != nil {
+		totalQueries = 0
+		for _, c := range queryCounts {
+			totalQueries += c
+		}
+	}
+	rep := modeReport{
+		Requests:        len(bodies),
+		Queries:         totalQueries,
+		Errors:          len(bodies) - okRequests,
+		DurationSeconds: elapsed,
+	}
+	if elapsed > 0 {
+		rep.RequestsPerSecond = float64(okRequests) / elapsed
+		rep.QueriesPerSecond = float64(okQueries) / elapsed
+	}
+	if len(okLatencies) > 0 {
+		sort.Float64s(okLatencies)
+		rep.Latency = latencyReport{
+			MeanMs: stats.Mean(okLatencies),
+			P50Ms:  stats.Percentile(okLatencies, 50),
+			P90Ms:  stats.Percentile(okLatencies, 90),
+			P99Ms:  stats.Percentile(okLatencies, 99),
+			MaxMs:  okLatencies[len(okLatencies)-1],
+		}
+	}
+	return rep
+}
+
+// issue posts one body and reports whether the request fully succeeded,
+// scanning batch responses for per-item errors.
+func issue(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if bytes.HasPrefix(bytes.TrimSpace(raw), []byte("[")) {
+		var items []struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &items); err != nil {
+			return false
+		}
+		for _, item := range items {
+			if item.Error != "" {
+				return false
+			}
+		}
+	}
+	return true
+}

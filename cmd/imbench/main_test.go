@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"imdist"
+)
+
+func karateSketch(t *testing.T) string {
+	t.Helper()
+	network, err := imdist.LoadDataset("Karate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := network.AssignProbabilities("iwc", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ig.NewInfluenceOracleWithOptions(imdist.OracleOptions{RRSets: 20000, Seed: 7, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "karate.sketch")
+	if err := oracle.SaveSketchFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchBothModes drives imbench end to end against an in-process Karate
+// server and checks the structure of the JSON report: both modes ran, every
+// query was answered without error, and the speedup field is populated.
+func TestBenchBothModes(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-sketch", karateSketch(t),
+		"-mix", "hotspot",
+		"-queries", "64",
+		"-batch", "16",
+		"-mode", "both",
+		"-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Vertices != 34 || rep.RRSets != 20000 {
+		t.Errorf("report sketch metadata = %d vertices / %d rr_sets", rep.Vertices, rep.RRSets)
+	}
+	if rep.Single == nil || rep.Batch == nil {
+		t.Fatalf("mode both must fill single and batch: %+v", rep)
+	}
+	if rep.Single.Requests != 64 || rep.Single.Queries != 64 {
+		t.Errorf("single mode = %d requests / %d queries, want 64/64", rep.Single.Requests, rep.Single.Queries)
+	}
+	if rep.Batch.Requests != 4 || rep.Batch.Queries != 64 {
+		t.Errorf("batch mode = %d requests / %d queries, want 4/64", rep.Batch.Requests, rep.Batch.Queries)
+	}
+	if rep.Single.Errors != 0 || rep.Batch.Errors != 0 {
+		t.Errorf("errors: single %d, batch %d, want 0/0", rep.Single.Errors, rep.Batch.Errors)
+	}
+	if rep.BatchSpeedup <= 0 {
+		t.Errorf("batch speedup = %v, want > 0", rep.BatchSpeedup)
+	}
+	if rep.Single.Latency.P99Ms < rep.Single.Latency.P50Ms {
+		t.Errorf("latency quantiles out of order: %+v", rep.Single.Latency)
+	}
+}
+
+// TestBenchSingleModeToFile checks -mode single and -out.
+func TestBenchSingleModeToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-sketch", karateSketch(t),
+		"-queries", "16",
+		"-mode", "single",
+		"-out", out,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Single == nil || rep.Batch != nil || rep.BatchSpeedup != 0 {
+		t.Errorf("single mode report = %+v", rep)
+	}
+}
+
+func TestBenchRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},                               // neither -addr nor -sketch
+		{"-addr", "x", "-sketch", "y"},   // both
+		{"-addr", "x", "-mix", "bogus"},  // unknown mix
+		{"-addr", "x", "-queries", "0"},  // bad queries
+		{"-addr", "x", "-batch", "0"},    // bad batch
+		{"-addr", "x", "-mode", "bogus"}, // bad mode
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/influence -d '{"seeds":[0,33]}'
+//	curl -s -X POST localhost:8080/v1/influence:batch -d '[{"seeds":[0]},{"seeds":[33]}]'
 //	curl -s -X POST localhost:8080/v1/seeds -d '{"k":4}'
 //	curl -s 'localhost:8080/v1/top?k=10'
 //
@@ -49,6 +50,8 @@ func run(args []string) error {
 		maxBody  = fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
 		maxSeeds = fs.Int("max-seeds", server.DefaultMaxSeeds, "maximum seed-set size per /v1/influence request")
 		maxK     = fs.Int("max-k", server.DefaultMaxK, "maximum k for /v1/seeds and /v1/top")
+		maxBatch = fs.Int("max-batch", server.DefaultMaxBatchQueries, "maximum queries per /v1/influence:batch request")
+		batchW   = fs.Int("batch-workers", -1, "batch evaluation parallelism: 1 = request goroutine, -1 = all CPUs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,11 +70,13 @@ func run(args []string) error {
 		oracle.NumVertices(), oracle.NumSets(), oracle.Model(), oracle.BuildSeed())
 
 	srv, err := server.New(server.Config{
-		Oracle:       oracle,
-		CacheSize:    *cache,
-		MaxBodyBytes: *maxBody,
-		MaxSeeds:     *maxSeeds,
-		MaxK:         *maxK,
+		Oracle:          oracle,
+		CacheSize:       *cache,
+		MaxBodyBytes:    *maxBody,
+		MaxSeeds:        *maxSeeds,
+		MaxK:            *maxK,
+		MaxBatchQueries: *maxBatch,
+		BatchWorkers:    *batchW,
 	})
 	if err != nil {
 		return err

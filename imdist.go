@@ -217,8 +217,8 @@ type SeedOptions struct {
 	Lazy bool
 	// Model is the diffusion model; empty means IC.
 	Model DiffusionModel
-	// Workers is the sampling parallelism. 0 and 1 run the paper's serial
-	// algorithms; values greater than 1 fan the sampling work — Snapshot's τ
+	// Workers is the sampling parallelism. 0 and 1 sample on the calling
+	// goroutine; values greater than 1 fan the sampling work — Snapshot's τ
 	// live-edge graphs, RIS's θ reverse-reachable sets, Oneshot's β
 	// simulations per estimate — out over that many worker goroutines;
 	// negative values use one worker per available CPU. Parallel runs are
@@ -226,7 +226,9 @@ type SeedOptions struct {
 	// Cost are byte-identical across repeated runs and across any parallel
 	// worker count (each sample draws from its own rng stream derived from
 	// Seed, and per-worker cost accumulators are merged exactly after the
-	// join). Only the serial/parallel mode switch changes which random
+	// join). RIS derives per-sample streams at every worker count, so its
+	// runs are byte-identical across all Workers values; for Oneshot and
+	// Snapshot only the serial/parallel mode switch changes which random
 	// numbers a run sees.
 	Workers int
 }
@@ -335,11 +337,12 @@ type OracleOptions struct {
 	RRSets int
 	// Seed drives all randomness of the build.
 	Seed uint64
-	// Workers is the build parallelism, with the same semantics and the same
-	// determinism guarantee as SeedOptions.Workers: 0 and 1 generate the RR
-	// sets serially, larger values generate them on that many goroutines,
-	// negative values use all CPUs, and any parallel worker count yields a
-	// byte-identical oracle for a fixed Seed.
+	// Workers is the build parallelism, with the same semantics as
+	// SeedOptions.Workers: 0 and 1 generate the RR sets on the calling
+	// goroutine, larger values generate them on that many goroutines, and
+	// negative values use all CPUs. Every RR set draws from its own rng
+	// stream derived from Seed, so every worker count — serial included —
+	// yields a byte-identical oracle for a fixed Seed.
 	Workers int
 }
 
@@ -373,6 +376,45 @@ func (o *InfluenceOracle) Influence(seeds []int) (float64, error) {
 		}
 	}
 	return o.o.Influence(toVertexIDs(seeds))
+}
+
+// BatchInfluence evaluates many seed sets in one pass over the oracle's RR
+// sets using the sharded batch query engine: the RR-set index space is split
+// into cache-friendly shards and the shards × queries grid is fanned out over
+// workers goroutines (0 and 1 evaluate on the calling goroutine, larger
+// values use that many workers, negative values one per CPU). The returned
+// values are byte-identical to calling Influence on each seed set in a loop,
+// for any worker count.
+//
+// Both returned slices have len(seedSets) entries. errs[i] is non-nil when
+// seedSets[i] contains a vertex outside [0, NumVertices()); values[i] is then
+// 0 and the other items are unaffected, so one bad query never fails a batch.
+func (o *InfluenceOracle) BatchInfluence(seedSets [][]int, workers int) (values []float64, errs []error) {
+	n := o.o.NumVertices()
+	values = make([]float64, len(seedSets))
+	errs = make([]error, len(seedSets))
+	converted := make([][]graph.VertexID, len(seedSets))
+	for i, seeds := range seedSets {
+		// Range-check before the int32 conversion, exactly as Influence does,
+		// so ids beyond 2^31 cannot wrap into valid vertices.
+		for _, v := range seeds {
+			if v < 0 || v >= n {
+				errs[i] = fmt.Errorf("imdist: seed set %d: seed vertex %d not in [0, %d)", i, v, n)
+				break
+			}
+		}
+		if errs[i] == nil {
+			converted[i] = toVertexIDs(seeds)
+		}
+	}
+	batchValues, batchErrs := o.o.BatchInfluence(converted, workers)
+	for i := range seedSets {
+		if errs[i] != nil {
+			continue
+		}
+		values[i], errs[i] = batchValues[i], batchErrs[i]
+	}
+	return values, errs
 }
 
 // GreedySeeds returns the greedy maximum-coverage solution computed directly

@@ -80,11 +80,12 @@ func newRRSampler(ig *graph.InfluenceGraph, model diffusion.Model) rrSampler {
 }
 
 // NewOracleParallel builds an oracle under the given diffusion model,
-// generating its RR sets on a pool of workers goroutines (0 and 1 keep the
-// serial generation; negative values use all CPUs). In parallel mode each RR
-// set draws from its own pair of rng streams derived from a base seed taken
-// once from src, so the oracle is byte-identical across runs and across
-// parallel worker counts.
+// generating its RR sets on a pool of workers goroutines (0 and 1 generate
+// on the calling goroutine; negative values use all CPUs). Every RR set
+// draws from its own rng stream derived from a base seed taken once from
+// src — for serial and parallel builds alike — so the oracle is
+// byte-identical across runs and across every worker count, including the
+// serial ones.
 func NewOracleParallel(ig *graph.InfluenceGraph, model diffusion.Model, numSets, workers int, src rng.Source) (*Oracle, error) {
 	if ig == nil || ig.NumVertices() == 0 {
 		return nil, ErrEmptyGraph
@@ -103,27 +104,19 @@ func NewOracleParallel(ig *graph.InfluenceGraph, model diffusion.Model, numSets,
 		model:   model,
 		rrSets:  make([][]graph.VertexID, numSets),
 	}
-	if workers < 0 || workers > 1 {
-		// Per-sample derived streams (target and edge coins share one), as in
-		// the parallel RIS Build: the oracle is then independent of the
-		// worker count and of scheduling.
-		split := rng.SplitterFrom(rng.Xoshiro, src)
-		w := parallel.Resolve(workers, numSets)
-		samplers := make([]rrSampler, w)
-		for i := range samplers {
-			samplers[i] = newRRSampler(ig, model)
-		}
-		parallel.For(w, numSets, func(worker, i int) {
-			s := split.Stream(uint64(i))
-			o.rrSets[i] = samplers[worker].Sample(s, s, nil)
-		})
-	} else {
-		targetSrc := rng.NewXoshiro(src.Uint64())
-		sampler := newRRSampler(ig, model)
-		for i := 0; i < numSets; i++ {
-			o.rrSets[i] = sampler.Sample(targetSrc, src, nil)
-		}
+	// Per-sample derived streams (target and edge coins share one), as in
+	// the RIS Build: the oracle is independent of the worker count — serial
+	// included — and of scheduling.
+	split := rng.SplitterFrom(rng.Xoshiro, src)
+	w := parallel.Resolve(workers, numSets)
+	samplers := make([]rrSampler, w)
+	for i := range samplers {
+		samplers[i] = newRRSampler(ig, model)
 	}
+	parallel.For(w, numSets, func(worker, i int) {
+		s := split.Stream(uint64(i))
+		o.rrSets[i] = samplers[worker].Sample(s, s, nil)
+	})
 	o.buildMemberIndex()
 	return o, nil
 }

@@ -26,7 +26,11 @@ type Problem struct {
 	MemberOf    [][]int32
 }
 
-// Validate checks structural consistency.
+// Validate checks structural consistency. It runs in time linear in the
+// total membership size: duplicate detection uses one reusable stamp array
+// over set ids (stamped with the element index) instead of rescanning each
+// element's earlier entries, which was quadratic in the membership list
+// length — ruinous on RIS instances whose elements are large RR sets.
 func (p *Problem) Validate() error {
 	if p.NumElements < 0 || p.NumSets < 0 {
 		return fmt.Errorf("%w: negative sizes", ErrInvalidInput)
@@ -34,16 +38,18 @@ func (p *Problem) Validate() error {
 	if len(p.MemberOf) != p.NumElements {
 		return fmt.Errorf("%w: MemberOf has %d rows, want %d", ErrInvalidInput, len(p.MemberOf), p.NumElements)
 	}
+	// seen[s] == e+1 records that set s was already listed by element e.
+	seen := make([]int, p.NumSets)
 	for e, sets := range p.MemberOf {
-		for i, s := range sets {
+		stamp := e + 1
+		for _, s := range sets {
 			if s < 0 || int(s) >= p.NumSets {
 				return fmt.Errorf("%w: element %d references set %d of %d", ErrInvalidInput, e, s, p.NumSets)
 			}
-			for _, prev := range sets[:i] {
-				if prev == s {
-					return fmt.Errorf("%w: element %d lists set %d twice", ErrInvalidInput, e, s)
-				}
+			if seen[s] == stamp {
+				return fmt.Errorf("%w: element %d lists set %d twice", ErrInvalidInput, e, s)
 			}
+			seen[s] = stamp
 		}
 	}
 	return nil

@@ -67,6 +67,41 @@ func TestGreedyValidation(t *testing.T) {
 	}
 }
 
+func TestValidateDuplicates(t *testing.T) {
+	// A duplicate inside one element's list is invalid...
+	dup := &Problem{NumElements: 2, NumSets: 3, MemberOf: [][]int32{{0, 2, 0}, {1}}}
+	if err := dup.Validate(); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("duplicate membership err = %v", err)
+	}
+	// ...but the same set appearing under different elements is fine, even
+	// when the set id matches the stamp pattern of the reusable seen array.
+	ok := &Problem{NumElements: 3, NumSets: 3, MemberOf: [][]int32{{0, 1}, {0, 1}, {0, 1, 2}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("cross-element repeats rejected: %v", err)
+	}
+}
+
+// BenchmarkValidateLargeElements exercises Validate on RIS-shaped input: few
+// elements, each listing many sets. The pre-fix quadratic inner loop made
+// this shape O(L²) per element.
+func BenchmarkValidateLargeElements(b *testing.B) {
+	const numSets = 4096
+	row := make([]int32, numSets)
+	for i := range row {
+		row[i] = int32(i)
+	}
+	p := &Problem{NumElements: 16, NumSets: numSets, MemberOf: make([][]int32, 16)}
+	for e := range p.MemberOf {
+		p.MemberOf[e] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestGreedyZeroK(t *testing.T) {
 	p := problemFromSets(3, [][]int32{{0, 1, 2}})
 	res, err := Greedy(p, 0)

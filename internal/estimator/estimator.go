@@ -114,28 +114,32 @@ type Config struct {
 	Graph *graph.InfluenceGraph
 	// SampleNumber is β, τ or θ depending on the approach. It must be >= 1.
 	SampleNumber int
-	// Source provides the randomness for the estimator. RIS derives its
-	// second stream (target selection) from this one, mirroring the paper's
-	// two-PRNG discipline with a single reproducible seed.
+	// Source provides the randomness for the estimator. RIS derives one
+	// stream per RR set from this one (collapsing the paper's two-PRNG
+	// discipline onto per-sample streams), so a single seed reproduces the
+	// run at any worker count.
 	Source rng.Source
 	// Model selects the diffusion model; the zero value is the Independent
 	// Cascade model used throughout the paper. Under the Linear Threshold
 	// model the graph's edge probabilities are interpreted as LT weights and
 	// must sum to at most 1 over each vertex's in-edges.
 	Model diffusion.Model
-	// Workers is the parallelism of the sampling engine. 0 and 1 run the
-	// serial algorithms exactly as the paper describes them, drawing every
-	// random number sequentially from Source. Values greater than 1 fan the
-	// sampling work (Snapshot's τ live-edge graphs, RIS's θ RR sets,
-	// Oneshot's β simulations per estimate) out over that many worker
-	// goroutines; negative values use one worker per available CPU.
+	// Workers is the parallelism of the sampling engine. 0 and 1 run on the
+	// calling goroutine; values greater than 1 fan the sampling work
+	// (Snapshot's τ live-edge graphs, RIS's θ RR sets, Oneshot's β
+	// simulations per estimate) out over that many worker goroutines;
+	// negative values use one worker per available CPU.
 	//
 	// In parallel mode each sample draws from its own rng stream derived
 	// from a base seed taken once from Source (see rng.Splitter), so runs
 	// are byte-identical across repetitions and across different parallel
-	// worker counts — only the serial/parallel mode switch changes which
-	// random numbers a sample sees. Per-worker cost accumulators are merged
-	// after the join, keeping cost accounting exact.
+	// worker counts. RIS uses the per-sample stream derivation at every
+	// worker count, so its RR pool does not depend on Workers at all;
+	// Oneshot and Snapshot keep the paper's serial algorithms at Workers 0
+	// and 1, drawing every random number sequentially from Source, and for
+	// them only the serial/parallel mode switch changes which random numbers
+	// a sample sees. Per-worker cost accumulators are merged after the join,
+	// keeping cost accounting exact.
 	Workers int
 }
 

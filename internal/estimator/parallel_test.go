@@ -113,9 +113,35 @@ func TestParallelCostMatchesSerialTotals(t *testing.T) {
 	}
 }
 
-// TestSerialPathUnchanged pins the Workers knob's backward compatibility:
-// Workers 0 and 1 must reproduce exactly the estimates and cost of the
-// pre-knob serial code path.
+// TestRISPoolIndependentOfWorkers pins the unified RIS stream derivation:
+// because every RR set draws from its own per-sample stream regardless of
+// mode, a fixed seed must yield byte-identical estimates and costs across
+// serial (0, 1) AND parallel (2, -1) worker counts. This is the guarantee
+// the serving stack leans on — a sketch built at any Workers value answers
+// identically.
+func TestRISPoolIndependentOfWorkers(t *testing.T) {
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		ig := parallelTestGraph(t, model)
+		ref, refCost := buildFingerprint(t, RIS, model, ig, 0)
+		for _, workers := range []int{1, 2, 4, -1} {
+			got, gotCost := buildFingerprint(t, RIS, model, ig, workers)
+			if gotCost != refCost {
+				t.Errorf("%v workers=%d: cost %+v != serial cost %+v", model, workers, gotCost, refCost)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("%v workers=%d: estimate[%d] = %v != serial %v", model, workers, i, got[i], ref[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSerialPathUnchanged pins the Workers knob's serial equivalence:
+// Workers 0 and 1 must produce identical estimates and cost (for RIS both
+// now run the unified per-sample stream derivation; for Oneshot and Snapshot
+// both run the paper's sequential draws).
 func TestSerialPathUnchanged(t *testing.T) {
 	ig := parallelTestGraph(t, diffusion.IC)
 	for _, a := range All() {

@@ -42,11 +42,7 @@ func newRIS(cfg Config) *risEstimator {
 		coveredSet: make([]bool, cfg.SampleNumber),
 		coverCount: make([]int32, n),
 	}
-	if cfg.parallelEnabled() {
-		r.buildParallel()
-	} else {
-		r.buildSerial()
-	}
+	r.build()
 	// Index the RR sets in sample order; the membership lists and coverage
 	// counts are therefore identical however the sets were generated.
 	for i, set := range r.rrSets {
@@ -58,27 +54,16 @@ func newRIS(cfg Config) *risEstimator {
 	return r
 }
 
-// buildSerial draws the θ RR sets sequentially from the configured source.
-// Per Section 4.1, RIS uses two PRNG streams: one to choose the random target
-// and one for the edge coin flips. Both are derived from the configured
-// source so a single seed reproduces the run.
-func (r *risEstimator) buildSerial() {
-	targetSrc := rng.NewXoshiro(r.cfg.Source.Uint64())
-	edgeSrc := r.cfg.Source
-
-	sampler := newReverseSampler(r.cfg)
-	for i := 0; i < r.cfg.SampleNumber; i++ {
-		r.rrSets[i] = sampler.Sample(targetSrc, edgeSrc, &r.cost)
-	}
-}
-
-// buildParallel draws the θ RR sets on a worker pool. Sample i draws both its
-// target and its edge coins from its own stream derived from the splitter, so
-// the pool of RR sets — and hence every later estimate — does not depend on
-// the worker count or on scheduling. Each worker owns one sampler (scratch
-// buffers) and one cost accumulator; the accumulators are merged after the
-// join.
-func (r *risEstimator) buildParallel() {
+// build draws the θ RR sets. Sample i draws both its random target and its
+// edge coin flips from its own stream derived from a splitter seeded once
+// from the configured source (Section 4.1's two-PRNG discipline collapsed
+// onto per-sample streams), so the pool of RR sets — and hence every later
+// estimate — is identical for every Workers value: serial and parallel runs
+// of the same seed produce byte-identical RR pools. Workers 0 and 1 run the
+// loop on the calling goroutine; larger values fan the samples out over a
+// worker pool, each worker owning one sampler (scratch buffers) and one cost
+// accumulator, merged exactly after the join.
+func (r *risEstimator) build() {
 	split := rng.SplitterFrom(rng.Xoshiro, r.cfg.Source)
 	workers := parallel.Resolve(r.cfg.Workers, r.cfg.SampleNumber)
 	samplers := make([]reverseSampler, workers)

@@ -23,7 +23,8 @@ type lruEntry struct {
 }
 
 // newLRUCache returns a cache holding up to capacity entries; capacity <= 0
-// disables caching (every Get misses, Put is a no-op).
+// disables caching (every Get misses — and counts as a miss in Stats, so a
+// cacheless server still reports its uncached traffic — and Put is a no-op).
 func newLRUCache(capacity int) *lruCache {
 	return &lruCache{
 		capacity: capacity,
@@ -33,11 +34,12 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 func (c *lruCache) Get(key string) (any, bool) {
-	if c.capacity <= 0 {
-		return nil, false
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		c.misses++
+		return nil, false
+	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++

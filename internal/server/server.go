@@ -6,10 +6,16 @@
 //
 // Endpoints (JSON):
 //
-//	POST /v1/influence  {"seeds":[0,5,9]}  -> {"influence":..,"ci99":..}
-//	POST /v1/seeds      {"k":4}            -> {"seeds":[..],"influence":..}
-//	GET  /v1/top?k=10                      -> {"vertices":[..],"influences":[..]}
-//	GET  /healthz                          -> sketch metadata + cache stats
+//	POST /v1/influence        {"seeds":[0,5,9]}      -> {"influence":..,"ci99":..}
+//	POST /v1/influence:batch  [{"seeds":[0]},..]     -> [{"influence":..},..]
+//	POST /v1/seeds            {"k":4}                -> {"seeds":[..],"influence":..}
+//	GET  /v1/top?k=10                                -> {"vertices":[..],"influences":[..]}
+//	GET  /healthz                                    -> sketch metadata + cache stats
+//
+// The batch endpoint accepts a JSON array of influence requests, evaluates
+// the uncached ones in one pass through the oracle's sharded batch engine,
+// and returns one result per item in request order; invalid items carry a
+// per-item "error" field instead of failing the whole batch.
 //
 // Results are memoized in an LRU cache keyed by canonicalized requests
 // (seed sets are sorted and deduplicated first), request bodies are
@@ -34,11 +40,12 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultCacheSize    = 4096
-	DefaultMaxBodyBytes = 1 << 20
-	DefaultMaxSeeds     = 100_000
-	DefaultMaxK         = 10_000
-	shutdownGrace       = 10 * time.Second
+	DefaultCacheSize       = 4096
+	DefaultMaxBodyBytes    = 1 << 20
+	DefaultMaxSeeds        = 100_000
+	DefaultMaxK            = 10_000
+	DefaultMaxBatchQueries = 1024
+	shutdownGrace          = 10 * time.Second
 )
 
 // Config configures a Server. The zero value of every field except Oracle
@@ -56,6 +63,13 @@ type Config struct {
 	MaxSeeds int
 	// MaxK limits k for /v1/seeds and /v1/top (default DefaultMaxK).
 	MaxK int
+	// MaxBatchQueries limits the number of items per /v1/influence:batch
+	// request (default DefaultMaxBatchQueries).
+	MaxBatchQueries int
+	// BatchWorkers is the worker count handed to the oracle's sharded batch
+	// engine for each /v1/influence:batch request. The zero value selects one
+	// worker per CPU; 1 evaluates batches on the request goroutine.
+	BatchWorkers int
 }
 
 // Server answers oracle queries over HTTP.
@@ -84,6 +98,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxK == 0 {
 		cfg.MaxK = DefaultMaxK
 	}
+	if cfg.MaxBatchQueries == 0 {
+		cfg.MaxBatchQueries = DefaultMaxBatchQueries
+	}
+	if cfg.BatchWorkers == 0 {
+		cfg.BatchWorkers = -1
+	}
 	s := &Server{
 		oracle: cfg.Oracle,
 		cache:  newLRUCache(cfg.CacheSize),
@@ -92,6 +112,7 @@ func New(cfg Config) (*Server, error) {
 		start:  time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/influence", s.handleInfluence)
+	s.mux.HandleFunc("POST /v1/influence:batch", s.handleBatchInfluence)
 	s.mux.HandleFunc("POST /v1/seeds", s.handleSeeds)
 	s.mux.HandleFunc("GET /v1/top", s.handleTop)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -194,25 +215,34 @@ type influenceResponse struct {
 	Seeds     int     `json:"seeds"`
 }
 
+// validateInfluenceSeeds checks an influence request's seed list against the
+// server's limits and the oracle's vertex range; it returns a user-facing
+// error message, or "" when the request is valid. Shared by the single and
+// batch influence handlers so both reject exactly the same inputs.
+func (s *Server) validateInfluenceSeeds(seeds []int) string {
+	if len(seeds) == 0 {
+		return "seeds must be non-empty"
+	}
+	if len(seeds) > s.cfg.MaxSeeds {
+		return fmt.Sprintf("too many seeds: %d > %d", len(seeds), s.cfg.MaxSeeds)
+	}
+	for _, v := range seeds {
+		// Reject before the int32 conversion in canonicalSeeds can wrap.
+		if v < 0 || v >= s.oracle.NumVertices() {
+			return fmt.Sprintf("seed vertex %d not in [0, %d)", v, s.oracle.NumVertices())
+		}
+	}
+	return ""
+}
+
 func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	var req influenceRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Seeds) == 0 {
-		writeError(w, http.StatusBadRequest, "seeds must be non-empty")
+	if msg := s.validateInfluenceSeeds(req.Seeds); msg != "" {
+		writeError(w, http.StatusBadRequest, "%s", msg)
 		return
-	}
-	if len(req.Seeds) > s.cfg.MaxSeeds {
-		writeError(w, http.StatusBadRequest, "too many seeds: %d > %d", len(req.Seeds), s.cfg.MaxSeeds)
-		return
-	}
-	for _, v := range req.Seeds {
-		// Reject before the int32 conversion in canonicalSeeds can wrap.
-		if v < 0 || v >= s.oracle.NumVertices() {
-			writeError(w, http.StatusBadRequest, "seed vertex %d not in [0, %d)", v, s.oracle.NumVertices())
-			return
-		}
 	}
 	seeds := canonicalSeeds(req.Seeds)
 	key := seedsKey(seeds)
@@ -234,6 +264,86 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cache.Put(key, resp)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchItemResponse is one element of a /v1/influence:batch response. A
+// valid item carries the same fields as a /v1/influence response; an invalid
+// one carries only an error message, so a single bad query never fails the
+// whole batch.
+type batchItemResponse struct {
+	*influenceResponse
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
+	var reqs []influenceRequest
+	if !s.decodeBody(w, r, &reqs) {
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch must be a non-empty JSON array of influence requests")
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatchQueries {
+		writeError(w, http.StatusBadRequest, "too many batch queries: %d > %d", len(reqs), s.cfg.MaxBatchQueries)
+		return
+	}
+	items := make([]batchItemResponse, len(reqs))
+	// Resolve each item against the shared LRU first (batch and single
+	// requests use the same canonical cache keys), collecting the misses —
+	// deduplicated by canonical key, so a batch of repeated hotspot queries
+	// costs one engine evaluation per distinct seed set — for one pass
+	// through the sharded batch engine.
+	type pendingQuery struct {
+		items []int
+		key   string
+		seeds []graph.VertexID
+	}
+	var pending []pendingQuery
+	pendingByKey := make(map[string]int)
+	for i, req := range reqs {
+		if msg := s.validateInfluenceSeeds(req.Seeds); msg != "" {
+			items[i].Error = msg
+			continue
+		}
+		seeds := canonicalSeeds(req.Seeds)
+		key := seedsKey(seeds)
+		if j, ok := pendingByKey[key]; ok {
+			pending[j].items = append(pending[j].items, i)
+			continue
+		}
+		if v, ok := s.cache.Get(key); ok {
+			resp := v.(influenceResponse)
+			items[i].influenceResponse = &resp
+			continue
+		}
+		pendingByKey[key] = len(pending)
+		pending = append(pending, pendingQuery{items: []int{i}, key: key, seeds: seeds})
+	}
+	if len(pending) > 0 {
+		seedSets := make([][]graph.VertexID, len(pending))
+		for j, p := range pending {
+			seedSets[j] = p.seeds
+		}
+		values, errs := s.oracle.BatchInfluence(seedSets, s.cfg.BatchWorkers)
+		ci := s.oracle.ConfidenceHalfWidth(2.576)
+		for j, p := range pending {
+			if errs[j] != nil {
+				// Unreachable after validateInfluenceSeeds, but the oracle's
+				// own validation is the final authority.
+				for _, i := range p.items {
+					items[i].Error = errs[j].Error()
+				}
+				continue
+			}
+			resp := influenceResponse{Influence: values[j], CI99: ci, Seeds: len(p.seeds)}
+			s.cache.Put(p.key, resp)
+			for _, i := range p.items {
+				items[i].influenceResponse = &resp
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, items)
 }
 
 type seedsRequest struct {
@@ -280,7 +390,9 @@ type topResponse struct {
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	k := 10
+	// The default must respect MaxK, or a bare GET /v1/top would 400 on
+	// servers configured with MaxK < 10.
+	k := min(10, s.cfg.MaxK)
 	if q := r.URL.Query().Get("k"); q != "" {
 		parsed, err := strconv.Atoi(q)
 		if err != nil {

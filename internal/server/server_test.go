@@ -147,6 +147,209 @@ func TestInfluenceBodyLimit(t *testing.T) {
 	}
 }
 
+// batchItemResult is the client-side view of one /v1/influence:batch item:
+// valid items carry influence/ci99/seeds, invalid ones only an error. The
+// Influence pointer distinguishes "present" from "zero".
+type batchItemResult struct {
+	Influence *float64 `json:"influence"`
+	CI99      float64  `json:"ci99"`
+	Seeds     int      `json:"seeds"`
+	Error     string   `json:"error"`
+}
+
+func TestBatchInfluenceEndpoint(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle})
+
+	body := `[{"seeds":[33,0,33]},{"seeds":[1]},{"seeds":[0,33]},{"seeds":[5,11,17]}]`
+	status, raw := postJSON(t, ts.URL+"/v1/influence:batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, raw)
+	}
+	var items []batchItemResult
+	if err := json.Unmarshal(raw, &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items, want 4", len(items))
+	}
+	for i, seeds := range [][]int{{33, 0, 33}, {1}, {0, 33}, {5, 11, 17}} {
+		if items[i].Error != "" {
+			t.Fatalf("item %d: unexpected error %q", i, items[i].Error)
+		}
+		want, err := oracle.Influence(canonicalSeeds(seeds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if items[i].Influence == nil || *items[i].Influence != want {
+			t.Errorf("item %d = %+v, want influence %v", i, items[i], want)
+		}
+	}
+	// Items 0 and 2 are permutations of the same seed set and must agree.
+	if *items[0].Influence != *items[2].Influence || items[0].Seeds != 2 {
+		t.Errorf("canonicalization mismatch: %+v vs %+v", items[0], items[2])
+	}
+
+	// A follow-up single request for a batched seed set must agree with the
+	// batch answer (batch results land in the shared cache under the same
+	// canonical keys).
+	status, raw = postJSON(t, ts.URL+"/v1/influence", `{"seeds":[17,5,11]}`)
+	if status != http.StatusOK {
+		t.Fatalf("single after batch: status = %d", status)
+	}
+	var single influenceResponse
+	if err := json.Unmarshal(raw, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Influence != *items[3].Influence {
+		t.Errorf("single after batch = %v, want %v", single.Influence, *items[3].Influence)
+	}
+}
+
+func TestBatchInfluencePerItemErrors(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle, MaxSeeds: 3})
+
+	body := `[{"seeds":[0]},{"seeds":[]},{"seeds":[99]},{"seeds":[-1]},{"seeds":[0,1,2,3]},{"seeds":[33]}]`
+	status, raw := postJSON(t, ts.URL+"/v1/influence:batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, raw)
+	}
+	var items []batchItemResult
+	if err := json.Unmarshal(raw, &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 6 {
+		t.Fatalf("got %d items, want 6", len(items))
+	}
+	for _, bad := range []int{1, 2, 3, 4} {
+		if items[bad].Error == "" {
+			t.Errorf("item %d: expected per-item error, got %+v", bad, items[bad])
+		}
+		if items[bad].Influence != nil {
+			t.Errorf("item %d: error item should omit influence, got %+v", bad, items[bad])
+		}
+	}
+	for _, good := range []int{0, 5} {
+		if items[good].Error != "" || items[good].Influence == nil {
+			t.Errorf("item %d: expected success, got %+v", good, items[good])
+		}
+	}
+}
+
+func TestBatchInfluenceRejectsBadBatches(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBatchQueries: 2})
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"empty array", `[]`, http.StatusBadRequest},
+		{"not an array", `{"seeds":[0]}`, http.StatusBadRequest},
+		{"too many queries", `[{"seeds":[0]},{"seeds":[1]},{"seeds":[2]}]`, http.StatusBadRequest},
+		{"unknown field", `[{"seedz":[0]}]`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, raw := postJSON(t, ts.URL+"/v1/influence:batch", c.body)
+			if status != c.wantStatus {
+				t.Errorf("status = %d, want %d (body %s)", status, c.wantStatus, raw)
+			}
+		})
+	}
+}
+
+// TestBatchMatchesSingleAcrossWorkerCounts is the server-level half of the
+// batch determinism guarantee: whatever BatchWorkers is configured, the batch
+// endpoint returns exactly the single-endpoint values.
+func TestBatchMatchesSingleAcrossWorkerCounts(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	queries := [][]int{{0}, {0, 33}, {1, 2, 3}, {32, 33}, {5, 11, 17, 23}}
+	raw, err := json.Marshal(func() []influenceRequest {
+		reqs := make([]influenceRequest, len(queries))
+		for i, q := range queries {
+			reqs[i].Seeds = q
+		}
+		return reqs
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for _, q := range queries {
+		inf, err := oracle.Influence(canonicalSeeds(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, inf)
+	}
+	for _, workers := range []int{1, 2, -1} {
+		// CacheSize -1 disables caching so every request exercises the engine.
+		ts := newTestServer(t, Config{Oracle: oracle, BatchWorkers: workers, CacheSize: -1})
+		status, body := postJSON(t, ts.URL+"/v1/influence:batch", string(raw))
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status = %d", workers, status)
+		}
+		var items []batchItemResult
+		if err := json.Unmarshal(body, &items); err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			if items[i].Error != "" || items[i].Influence == nil || *items[i].Influence != want[i] {
+				t.Errorf("workers=%d item %d = %+v, want %v", workers, i, items[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchDeduplicatesRepeatedQueries checks that repeated canonical seed
+// sets inside one batch are evaluated once and fanned out, even with the
+// cache disabled (the dedup is per-request, not LRU-dependent).
+func TestBatchDeduplicatesRepeatedQueries(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle, CacheSize: -1})
+	body := `[{"seeds":[5]},{"seeds":[5]},{"seeds":[5,5]},{"seeds":[0,33]},{"seeds":[33,0]}]`
+	status, raw := postJSON(t, ts.URL+"/v1/influence:batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, raw)
+	}
+	var items []batchItemResult
+	if err := json.Unmarshal(raw, &items); err != nil {
+		t.Fatal(err)
+	}
+	want5, err := oracle.Influence(canonicalSeeds([]int{5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 2} {
+		if items[i].Influence == nil || *items[i].Influence != want5 {
+			t.Errorf("item %d = %+v, want influence %v", i, items[i], want5)
+		}
+	}
+	if *items[3].Influence != *items[4].Influence {
+		t.Errorf("permuted duplicates disagree: %v vs %v", *items[3].Influence, *items[4].Influence)
+	}
+}
+
+func TestTopDefaultRespectsMaxK(t *testing.T) {
+	// A bare GET /v1/top must not 400 just because MaxK < 10.
+	ts := newTestServer(t, Config{MaxK: 5})
+	resp, err := http.Get(ts.URL + "/v1/top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var got topResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vertices) != 5 {
+		t.Errorf("default k returned %d vertices, want 5 (min(10, MaxK))", len(got.Vertices))
+	}
+}
+
 func TestSeedsEndpoint(t *testing.T) {
 	oracle := loadedKarateOracle(t)
 	ts := newTestServer(t, Config{Oracle: oracle})
@@ -332,10 +535,38 @@ func TestLRUCache(t *testing.T) {
 		t.Errorf("Stats = %d hits, %d misses, size %d", hits, misses, size)
 	}
 
-	// Disabled cache never stores.
+	// Disabled cache never stores, but still counts every Get as a miss so
+	// /healthz reflects uncached traffic.
 	d := newLRUCache(0)
 	d.Put("x", 1)
 	if _, ok := d.Get("x"); ok {
 		t.Error("disabled cache returned a value")
+	}
+	d.Get("y")
+	if hits, misses, size := d.Stats(); hits != 0 || misses != 2 || size != 0 {
+		t.Errorf("disabled cache Stats = %d hits, %d misses, size %d; want 0, 2, 0", hits, misses, size)
+	}
+}
+
+// TestHealthzCountsMissesWithoutCache pins the lruCache stats fix end to end:
+// a server with caching disabled must still report its misses.
+func TestHealthzCountsMissesWithoutCache(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: -1})
+	for i := 0; i < 3; i++ {
+		if status, _ := postJSON(t, ts.URL+"/v1/influence", `{"seeds":[0]}`); status != http.StatusOK {
+			t.Fatalf("status = %d", status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHits != 0 || got.CacheMisses != 3 {
+		t.Errorf("healthz cache stats = %d/%d, want 0 hits / 3 misses", got.CacheHits, got.CacheMisses)
 	}
 }

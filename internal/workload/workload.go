@@ -2,6 +2,10 @@
 // the four edge-probability settings of Section 4.3 of the paper (uniform
 // cascade 0.1 and 0.01, in-degree weighted cascade, out-degree weighted
 // cascade) plus the trivalency model commonly used in follow-up work.
+//
+// It also generates query workloads for the serving side: reproducible
+// seed-set mixes (uniform, hotspot, singleton) that load drivers such as
+// cmd/imbench replay against a running influence server.
 package workload
 
 import (
@@ -103,4 +107,135 @@ func Assign(g *graph.Graph, m Model, src rng.Source) (*graph.InfluenceGraph, err
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownModel, int(m))
 	}
+}
+
+// Mix identifies a seed-set query mix for influence-server load generation.
+type Mix int
+
+const (
+	// MixUniform draws each query's seeds uniformly from all vertices, with
+	// the set size uniform in [1, maxSize].
+	MixUniform Mix = iota
+	// MixHotspot draws most seeds (hotspotFraction of them) from a small hot
+	// set of vertices, modelling skewed production traffic where a few
+	// celebrity seed sets are queried over and over (and therefore exercise
+	// a server's cache).
+	MixHotspot
+	// MixSingleton issues single-vertex queries only, uniform over vertices —
+	// the /v1/top-style ranking traffic pattern.
+	MixSingleton
+)
+
+const (
+	// hotspotFraction is the fraction of seeds MixHotspot draws from the hot
+	// set; the rest are uniform over all vertices.
+	hotspotFraction = 0.9
+	// hotspotShare is the fraction of the vertex space forming the hot set
+	// (at least one vertex).
+	hotspotShare = 0.05
+)
+
+// ErrUnknownMix reports an unrecognised mix name or value.
+var ErrUnknownMix = errors.New("workload: unknown query mix")
+
+// String returns the mix name accepted by ParseMix.
+func (m Mix) String() string {
+	switch m {
+	case MixUniform:
+		return "uniform"
+	case MixHotspot:
+		return "hotspot"
+	case MixSingleton:
+		return "singleton"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseMix converts a mix name ("uniform", "hotspot", "singleton") into a Mix.
+func ParseMix(s string) (Mix, error) {
+	switch s {
+	case "uniform":
+		return MixUniform, nil
+	case "hotspot":
+		return MixHotspot, nil
+	case "singleton":
+		return MixSingleton, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMix, s)
+	}
+}
+
+// Mixes returns all query mixes.
+func Mixes() []Mix { return []Mix{MixUniform, MixHotspot, MixSingleton} }
+
+// SeedSets generates count seed sets over the vertex space [0, n) according
+// to the mix. Every set is non-empty, duplicate-free and no larger than
+// maxSize (clamped to n); equal (mix, n, count, maxSize) with an equally
+// seeded src reproduce the same workload, so two benchmark runs replay
+// byte-identical query streams.
+func SeedSets(m Mix, n, count, maxSize int, src rng.Source) ([][]graph.VertexID, error) {
+	switch m {
+	case MixUniform, MixHotspot, MixSingleton:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMix, int(m))
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: seed-set mix needs n >= 1 vertices, got %d", n)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative seed-set count %d", count)
+	}
+	if maxSize < 1 {
+		return nil, fmt.Errorf("workload: seed-set mix needs maxSize >= 1, got %d", maxSize)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("workload: seed-set mix requires a random source")
+	}
+	if maxSize > n {
+		maxSize = n
+	}
+	hotCount := int(hotspotShare * float64(n))
+	if hotCount < 1 {
+		hotCount = 1
+	}
+	draw := func() graph.VertexID {
+		switch m {
+		case MixHotspot:
+			if src.Float64() < hotspotFraction {
+				return graph.VertexID(src.Intn(hotCount))
+			}
+			return graph.VertexID(src.Intn(n))
+		default:
+			return graph.VertexID(src.Intn(n))
+		}
+	}
+	sets := make([][]graph.VertexID, count)
+	for i := range sets {
+		size := 1
+		if m != MixSingleton && maxSize > 1 {
+			size = 1 + src.Intn(maxSize)
+		}
+		set := make([]graph.VertexID, 0, size)
+		seen := make(map[graph.VertexID]bool, size)
+		// Rejection-sample distinct vertices; after too many collisions
+		// (tiny graphs, hotspot mixes) fall back to a linear scan from the
+		// last draw so generation always terminates.
+		retries := 0
+		for len(set) < size {
+			v := draw()
+			for seen[v] {
+				retries++
+				if retries > 16*size {
+					v = (v + 1) % graph.VertexID(n)
+					continue
+				}
+				v = draw()
+			}
+			seen[v] = true
+			set = append(set, v)
+		}
+		sets[i] = set
+	}
+	return sets, nil
 }

@@ -167,6 +167,130 @@ func TestStandardModels(t *testing.T) {
 	}
 }
 
+func TestSeedSetsShapeAndRange(t *testing.T) {
+	for _, m := range Mixes() {
+		sets, err := SeedSets(m, 50, 200, 8, rng.NewXoshiro(1))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(sets) != 200 {
+			t.Fatalf("%v: got %d sets, want 200", m, len(sets))
+		}
+		for i, set := range sets {
+			if len(set) < 1 || len(set) > 8 {
+				t.Fatalf("%v: set %d has size %d, want [1, 8]", m, i, len(set))
+			}
+			if m == MixSingleton && len(set) != 1 {
+				t.Fatalf("singleton set %d has size %d", i, len(set))
+			}
+			seen := map[graph.VertexID]bool{}
+			for _, v := range set {
+				if v < 0 || int(v) >= 50 {
+					t.Fatalf("%v: set %d contains out-of-range vertex %d", m, i, v)
+				}
+				if seen[v] {
+					t.Fatalf("%v: set %d contains duplicate vertex %d", m, i, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestSeedSetsDeterministic(t *testing.T) {
+	for _, m := range Mixes() {
+		a, err := SeedSets(m, 100, 64, 6, rng.NewXoshiro(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SeedSets(m, 100, 64, 6, rng.NewXoshiro(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Fatalf("%v: set %d sizes differ", m, i)
+			}
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%v: set %d differs between equal seeds", m, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedSetsHotspotConcentration(t *testing.T) {
+	// With hotspotFraction = 0.9 over a 5% hot prefix, the bulk of all drawn
+	// seeds must land in the hot prefix of the vertex space.
+	n := 1000
+	hot := int(hotspotShare * float64(n))
+	sets, err := SeedSets(MixHotspot, n, 500, 4, rng.NewXoshiro(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHot, total := 0, 0
+	for _, set := range sets {
+		for _, v := range set {
+			total++
+			if int(v) < hot {
+				inHot++
+			}
+		}
+	}
+	if frac := float64(inHot) / float64(total); frac < 0.7 {
+		t.Errorf("hotspot mix put only %.2f of seeds in the hot set, want > 0.7", frac)
+	}
+}
+
+func TestSeedSetsSmallVertexSpace(t *testing.T) {
+	// maxSize beyond n clamps; generation must terminate and cover whole sets
+	// even when every query asks for nearly all vertices.
+	sets, err := SeedSets(MixHotspot, 3, 50, 10, rng.NewXoshiro(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range sets {
+		if len(set) < 1 || len(set) > 3 {
+			t.Fatalf("set %d has size %d, want [1, 3]", i, len(set))
+		}
+	}
+}
+
+func TestSeedSetsRejectsBadInput(t *testing.T) {
+	src := rng.NewXoshiro(1)
+	if _, err := SeedSets(MixUniform, 0, 1, 1, src); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := SeedSets(MixUniform, 10, -1, 1, src); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := SeedSets(MixUniform, 10, 1, 0, src); err == nil {
+		t.Error("maxSize = 0 accepted")
+	}
+	if _, err := SeedSets(MixUniform, 10, 1, 1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := SeedSets(Mix(42), 10, 1, 1, src); !errors.Is(err, ErrUnknownMix) {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestParseMixRoundTrip(t *testing.T) {
+	for _, m := range Mixes() {
+		parsed, err := ParseMix(m.String())
+		if err != nil || parsed != m {
+			t.Errorf("round trip of %v failed: %v, %v", m, parsed, err)
+		}
+	}
+	if _, err := ParseMix("bogus"); !errors.Is(err, ErrUnknownMix) {
+		t.Errorf("ParseMix(bogus) err = %v, want ErrUnknownMix", err)
+	}
+	if Mix(42).String() != "unknown" {
+		t.Errorf("unexpected String for invalid mix")
+	}
+}
+
 func TestAssignUnknownModel(t *testing.T) {
 	g := testGraph(t)
 	if _, err := Assign(g, Model(99), nil); !errors.Is(err, ErrUnknownModel) {

@@ -125,9 +125,10 @@ func TestStudyDistributionParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestOracleParallelDeterminism checks that a parallel oracle build is
-// byte-identical across runs and across worker counts, as observed through
-// its influence estimates.
+// TestOracleParallelDeterminism checks that an oracle build is byte-identical
+// across runs and across every worker count — serial (0, 1) included, since
+// each RR set draws from its own per-sample stream regardless of mode — as
+// observed through its influence estimates.
 func TestOracleParallelDeterminism(t *testing.T) {
 	ig := parallelTestNetwork(t)
 	probe := []int{0, 1, 2, 3, 50, 100}
@@ -143,7 +144,7 @@ func TestOracleParallelDeterminism(t *testing.T) {
 		return append(out, mustInfluence(t, oracle, probe))
 	}
 	ref := build(4)
-	for _, workers := range []int{4, 2, -1} {
+	for _, workers := range []int{4, 2, -1, 0, 1} {
 		if got := build(workers); !reflect.DeepEqual(got, ref) {
 			t.Errorf("workers=%d: oracle estimates %v != %v", workers, got, ref)
 		}
