@@ -1,7 +1,7 @@
 // Command imbench is a closed-loop load driver for the influence server: it
 // generates a reproducible seed-set workload (internal/workload mixes),
 // replays it against a running imserve instance — or against an in-process
-// server loaded from a sketch file — and reports throughput and latency
+// server loaded from sketch files — and reports throughput and latency
 // quantiles as a JSON document suitable for trend tracking in CI.
 //
 // The driver is closed-loop: each of -concurrency clients issues its next
@@ -12,12 +12,24 @@
 //
 //	imbench -addr http://localhost:8080 -mix hotspot -queries 1024 -batch 64
 //	imbench -sketch karate.sketch -mode both -out report.json
+//	imbench -sketch ic=karate-ic.sketch,lt=karate-lt.sketch \
+//	        -sketches ic:2,lt:1 -mode both -out report.json
+//
+// With -sketches the query stream is spread across the named sketches of a
+// multi-sketch server in weighted round-robin order ("ic:2,lt:1" sends two
+// queries to ic for every one to lt), exercising the per-sketch registry
+// routes /v1/sketches/{name}/influence[...:batch]; without it the stream
+// targets the unnamed legacy routes (the server's default sketch). The
+// -sketch flag accepts a comma-separated list of name=path entries (a bare
+// path derives the name from the file name) and serves them all from one
+// in-process server, so CI can measure heterogeneous multi-sketch traffic
+// without orchestrating a second process.
 //
 // With -mode both, the same query stream is replayed twice — once as
-// sequential POST /v1/influence requests and once as POST /v1/influence:batch
+// sequential POST .../influence requests and once as POST .../influence:batch
 // requests of -batch queries each — and the report includes the batch speedup
 // (single-mode duration / batch-mode duration). The in-process server
-// (-sketch) runs with its LRU cache disabled so the report measures the
+// (-sketch) runs with its LRU caches disabled so the report measures the
 // query engines rather than cache lookups. Against an external server
 // (-addr) the cache is whatever the server was started with; the single pass
 // runs first, so a warm cache there inflates the batch numbers — disable the
@@ -39,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"imdist/internal/core"
 	"imdist/internal/graph"
 	"imdist/internal/rng"
 	"imdist/internal/server"
@@ -74,31 +87,51 @@ type modeReport struct {
 	Latency           latencyReport `json:"latency"`
 }
 
+// sketchMixReport describes one sketch of a multi-sketch run: its share of
+// the query stream and the sketch's shape.
+type sketchMixReport struct {
+	Name     string `json:"name"`
+	Weight   int    `json:"weight"`
+	Vertices int    `json:"vertices"`
+	RRSets   int    `json:"rr_sets"`
+	Queries  int    `json:"queries"`
+}
+
 // report is the JSON document imbench emits.
 type report struct {
-	Target       string      `json:"target"`
-	Mix          string      `json:"mix"`
-	Queries      int         `json:"queries"`
-	MaxSeeds     int         `json:"max_seeds"`
-	BatchSize    int         `json:"batch_size"`
-	Concurrency  int         `json:"concurrency"`
-	Seed         uint64      `json:"seed"`
-	Vertices     int         `json:"vertices"`
-	RRSets       int         `json:"rr_sets"`
-	Single       *modeReport `json:"single,omitempty"`
-	Batch        *modeReport `json:"batch,omitempty"`
-	BatchSpeedup float64     `json:"batch_speedup,omitempty"`
+	Target       string            `json:"target"`
+	Mix          string            `json:"mix"`
+	Queries      int               `json:"queries"`
+	MaxSeeds     int               `json:"max_seeds"`
+	BatchSize    int               `json:"batch_size"`
+	Concurrency  int               `json:"concurrency"`
+	Seed         uint64            `json:"seed"`
+	Vertices     int               `json:"vertices"`
+	RRSets       int               `json:"rr_sets"`
+	Sketches     []sketchMixReport `json:"sketches,omitempty"`
+	Single       *modeReport       `json:"single,omitempty"`
+	Batch        *modeReport       `json:"batch,omitempty"`
+	BatchSpeedup float64           `json:"batch_speedup,omitempty"`
+}
+
+// benchRequest is one pre-encoded HTTP request of the replay: its target
+// URL, body, and the number of workload queries it carries.
+type benchRequest struct {
+	url     string
+	body    []byte
+	queries int
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("imbench", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "", "base URL of a running imserve (e.g. http://localhost:8080)")
-		sketch      = fs.String("sketch", "", "drive an in-process server loaded from this sketch file (alternative to -addr)")
+		sketch      = fs.String("sketch", "", "serve these sketches in-process (comma-separated name=path or bare-path entries; alternative to -addr)")
+		sketchMix   = fs.String("sketches", "", "spread queries across named sketches, weighted round-robin (e.g. ic:2,lt:1); empty targets the default sketch")
 		mix         = fs.String("mix", "uniform", "seed-set mix: uniform, hotspot or singleton")
 		queries     = fs.Int("queries", 256, "number of seed-set queries in the workload")
 		maxSeeds    = fs.Int("max-seeds", 8, "maximum seeds per query")
-		batch       = fs.Int("batch", 64, "queries per /v1/influence:batch request")
+		batch       = fs.Int("batch", 64, "queries per influence:batch request")
 		concurrency = fs.Int("concurrency", 1, "closed-loop client goroutines")
 		mode        = fs.String("mode", "both", "request mode: single, batch or both")
 		seed        = fs.Uint64("seed", 1, "workload generation seed (equal seeds replay identical query streams)")
@@ -123,6 +156,12 @@ func run(args []string, stdout io.Writer) error {
 	if *mode != "single" && *mode != "batch" && *mode != "both" {
 		return fmt.Errorf("-mode must be single, batch or both, got %q", *mode)
 	}
+	var targets []workload.Target
+	if *sketchMix != "" {
+		if targets, err = workload.ParseTargets(*sketchMix); err != nil {
+			return err
+		}
+	}
 
 	base := strings.TrimSuffix(*addr, "/")
 	switch {
@@ -145,16 +184,6 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("probing %s/healthz: %w", base, err)
 	}
 
-	seedSets, err := workload.SeedSets(m, health.Vertices, *queries, *maxSeeds, rng.NewXoshiro(*seed))
-	if err != nil {
-		return err
-	}
-	bodies := encodeSingleBodies(seedSets)
-	batchBodies, batchCounts, err := encodeBatchBodies(seedSets, *batch)
-	if err != nil {
-		return err
-	}
-
 	rep := report{
 		Target:      base,
 		Mix:         m.String(),
@@ -166,12 +195,33 @@ func run(args []string, stdout io.Writer) error {
 		Vertices:    health.Vertices,
 		RRSets:      health.RRSets,
 	}
+
+	var single, batched []benchRequest
+	if targets == nil {
+		if health.Vertices < 1 {
+			return fmt.Errorf("server reports %d vertices", health.Vertices)
+		}
+		seedSets, err := workload.SeedSets(m, health.Vertices, *queries, *maxSeeds, rng.NewXoshiro(*seed))
+		if err != nil {
+			return err
+		}
+		single = encodeSingleRequests(base+"/v1/influence", seedSets)
+		if batched, err = encodeBatchRequests(base+"/v1/influence:batch", seedSets, *batch); err != nil {
+			return err
+		}
+	} else {
+		single, batched, rep.Sketches, err = encodeTargetedRequests(client, base, targets, m, *queries, *maxSeeds, *batch, *seed)
+		if err != nil {
+			return err
+		}
+	}
+
 	if *mode == "single" || *mode == "both" {
-		r := replay(client, base+"/v1/influence", bodies, nil, *concurrency)
+		r := replay(client, single, *concurrency)
 		rep.Single = &r
 	}
 	if *mode == "batch" || *mode == "both" {
-		r := replay(client, base+"/v1/influence:batch", batchBodies, batchCounts, *concurrency)
+		r := replay(client, batched, *concurrency)
 		rep.Batch = &r
 	}
 	if rep.Single != nil && rep.Batch != nil && rep.Batch.DurationSeconds > 0 {
@@ -190,17 +240,35 @@ func run(args []string, stdout io.Writer) error {
 	return err
 }
 
-// startInProcess loads a sketch and serves it from a loopback listener inside
-// this process, so CI can benchmark the full HTTP path without orchestrating
-// a second process. The LRU cache is disabled: with it on, the first replay
-// pass would warm it and later passes would measure cache lookups instead of
-// the query engines. It returns a shutdown func and the server's base URL.
-func startInProcess(path string) (func(), string, error) {
-	oracle, err := sketchio.ReadFile(path)
-	if err != nil {
-		return nil, "", fmt.Errorf("loading sketch %s: %w", path, err)
+// startInProcess loads one or more sketches and serves them from a loopback
+// listener inside this process, so CI can benchmark the full HTTP path —
+// including multi-sketch registry routing — without orchestrating a second
+// process. The spec is a comma-separated list of name=path or bare-path
+// entries; the first entry becomes the default sketch. The LRU caches are
+// disabled: with them on, the first replay pass would warm them and later
+// passes would measure cache lookups instead of the query engines. It
+// returns a shutdown func and the server's base URL.
+func startInProcess(spec string) (func(), string, error) {
+	sketches := make(map[string]*core.Oracle)
+	defaultName := ""
+	for _, entry := range strings.Split(spec, ",") {
+		name, path, err := server.ParseSketchSpec(strings.TrimSpace(entry))
+		if err != nil {
+			return nil, "", err
+		}
+		oracle, err := sketchio.ReadFile(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("loading sketch %s: %w", path, err)
+		}
+		if _, dup := sketches[name]; dup {
+			return nil, "", fmt.Errorf("duplicate sketch name %q in -sketch", name)
+		}
+		sketches[name] = oracle
+		if defaultName == "" {
+			defaultName = name
+		}
 	}
-	srv, err := server.New(server.Config{Oracle: oracle, CacheSize: -1})
+	srv, err := server.New(server.Config{Sketches: sketches, DefaultSketch: defaultName, CacheSize: -1})
 	if err != nil {
 		return nil, "", err
 	}
@@ -232,10 +300,35 @@ func fetchHealth(client *http.Client, base string) (healthInfo, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return h, err
 	}
-	if h.Vertices < 1 {
-		return h, fmt.Errorf("server reports %d vertices", h.Vertices)
-	}
 	return h, nil
+}
+
+// fetchSketchInfos asks GET /v1/sketches for the server's loaded sketches,
+// keyed by name (the multi-sketch workload needs each target's vertex count).
+func fetchSketchInfos(client *http.Client, base string) (map[string]healthInfo, error) {
+	resp, err := client.Get(base + "/v1/sketches")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var list struct {
+		Sketches []struct {
+			Name     string `json:"name"`
+			Vertices int    `json:"vertices"`
+			RRSets   int    `json:"rr_sets"`
+		} `json:"sketches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, err
+	}
+	infos := make(map[string]healthInfo, len(list.Sketches))
+	for _, s := range list.Sketches {
+		infos[s.Name] = healthInfo{Vertices: s.Vertices, RRSets: s.RRSets}
+	}
+	return infos, nil
 }
 
 type influenceRequest struct {
@@ -250,52 +343,110 @@ func toRequest(seeds []graph.VertexID) influenceRequest {
 	return influenceRequest{Seeds: out}
 }
 
-// encodeSingleBodies pre-marshals one /v1/influence body per query, so the
+// encodeSingleRequests pre-marshals one influence request per query, so the
 // replay loop measures the server, not the client's JSON encoder.
-func encodeSingleBodies(seedSets [][]graph.VertexID) [][]byte {
-	bodies := make([][]byte, len(seedSets))
+func encodeSingleRequests(url string, seedSets [][]graph.VertexID) []benchRequest {
+	reqs := make([]benchRequest, len(seedSets))
 	for i, seeds := range seedSets {
-		bodies[i], _ = json.Marshal(toRequest(seeds))
+		body, _ := json.Marshal(toRequest(seeds))
+		reqs[i] = benchRequest{url: url, body: body, queries: 1}
 	}
-	return bodies
+	return reqs
 }
 
-// encodeBatchBodies chunks the query stream into /v1/influence:batch bodies
-// of up to batch queries each, returning the bodies and per-body query counts.
-func encodeBatchBodies(seedSets [][]graph.VertexID, batch int) ([][]byte, []int, error) {
-	var bodies [][]byte
-	var counts []int
+// encodeBatchRequests chunks the query stream into influence:batch bodies of
+// up to batch queries each.
+func encodeBatchRequests(url string, seedSets [][]graph.VertexID, batch int) ([]benchRequest, error) {
+	var reqs []benchRequest
 	for start := 0; start < len(seedSets); start += batch {
-		end := start + batch
-		if end > len(seedSets) {
-			end = len(seedSets)
-		}
-		reqs := make([]influenceRequest, 0, end-start)
+		end := min(start+batch, len(seedSets))
+		items := make([]influenceRequest, 0, end-start)
 		for _, seeds := range seedSets[start:end] {
-			reqs = append(reqs, toRequest(seeds))
+			items = append(items, toRequest(seeds))
 		}
-		body, err := json.Marshal(reqs)
+		body, err := json.Marshal(items)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		bodies = append(bodies, body)
-		counts = append(counts, end-start)
+		reqs = append(reqs, benchRequest{url: url, body: body, queries: end - start})
 	}
-	return bodies, counts, nil
+	return reqs, nil
 }
 
-// replay issues every body against url from concurrency closed-loop clients,
-// pulling work from a shared counter, and aggregates latencies and errors. A
-// request errs when the transport fails, the status is not 200, or (batch
-// mode) any item in the response carries a per-item error. Failed requests
-// count only toward Errors: the latency quantiles and the throughput rates
-// aggregate successful requests exclusively, so a run that hits errors shows
-// degraded numbers plus a non-zero Errors field rather than fast-failing its
-// way to an apparent improvement. queryCounts gives the number of queries
-// each body carries; nil means one query per body (single mode).
-func replay(client *http.Client, url string, bodies [][]byte, queryCounts []int, concurrency int) modeReport {
-	latencies := make([]float64, len(bodies))
-	oks := make([]bool, len(bodies))
+// encodeTargetedRequests builds the multi-sketch workload: the query stream
+// is assigned to sketch names in weighted round-robin order (deterministic
+// for a fixed -sketches and -queries), each target's share is generated from
+// its own derived rng stream against its own vertex space, and requests for
+// a target go to its /v1/sketches/{name}/... routes. Batch requests never
+// span sketches — each batch body targets exactly one sketch endpoint.
+func encodeTargetedRequests(client *http.Client, base string, targets []workload.Target, m workload.Mix, queries, maxSeeds, batch int, seed uint64) (single, batched []benchRequest, mixRep []sketchMixReport, err error) {
+	infos, err := fetchSketchInfos(client, base)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("probing %s/v1/sketches: %w", base, err)
+	}
+	seq, err := workload.TargetSequence(targets, queries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	perTarget := make(map[string]int, len(targets))
+	for _, name := range seq {
+		perTarget[name]++
+	}
+	single = make([]benchRequest, 0, queries)
+	cursor := make(map[string][][]graph.VertexID, len(targets))
+	for ti, t := range targets {
+		info, ok := infos[t.Name]
+		if !ok {
+			available := make([]string, 0, len(infos))
+			for name := range infos {
+				available = append(available, name)
+			}
+			sort.Strings(available)
+			return nil, nil, nil, fmt.Errorf("sketch %q not loaded on %s (loaded: %s)", t.Name, base, strings.Join(available, ", "))
+		}
+		// Each target draws from its own stream derived from the master
+		// seed, so changing one target's weight never perturbs another's
+		// seed sets.
+		sets, err := workload.SeedSets(m, info.Vertices, perTarget[t.Name], maxSeeds, rng.NewXoshiro(seed+uint64(ti)))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cursor[t.Name] = sets
+		targetBatches, err := encodeBatchRequests(base+"/v1/sketches/"+t.Name+"/influence:batch", sets, batch)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		batched = append(batched, targetBatches...)
+		mixRep = append(mixRep, sketchMixReport{
+			Name:     t.Name,
+			Weight:   t.Weight,
+			Vertices: info.Vertices,
+			RRSets:   info.RRSets,
+			Queries:  perTarget[t.Name],
+		})
+	}
+	// Single-mode requests follow the interleaved order clients would issue.
+	for _, name := range seq {
+		sets := cursor[name]
+		seeds := sets[0]
+		cursor[name] = sets[1:]
+		body, _ := json.Marshal(toRequest(seeds))
+		single = append(single, benchRequest{url: base + "/v1/sketches/" + name + "/influence", body: body, queries: 1})
+	}
+	return single, batched, mixRep, nil
+}
+
+// replay issues every request from concurrency closed-loop clients, pulling
+// work from a shared counter, and aggregates latencies and errors. A request
+// errs when the transport fails, the status is not 200, or (batch mode) any
+// item in the response carries a per-item error. Failed requests count only
+// toward Errors: the latency quantiles and the throughput rates aggregate
+// successful requests exclusively, so a run that hits errors shows degraded
+// numbers plus a non-zero Errors field rather than fast-failing its way to
+// an apparent improvement.
+func replay(client *http.Client, reqs []benchRequest, concurrency int) modeReport {
+	latencies := make([]float64, len(reqs))
+	oks := make([]bool, len(reqs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -305,11 +456,11 @@ func replay(client *http.Client, url string, bodies [][]byte, queryCounts []int,
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(bodies) {
+				if i >= len(reqs) {
 					return
 				}
 				t0 := time.Now()
-				oks[i] = issue(client, url, bodies[i])
+				oks[i] = issue(client, reqs[i].url, reqs[i].body)
 				latencies[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
 			}
 		}()
@@ -317,31 +468,21 @@ func replay(client *http.Client, url string, bodies [][]byte, queryCounts []int,
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
-	okRequests, okQueries := 0, 0
-	okLatencies := make([]float64, 0, len(bodies))
+	okRequests, okQueries, totalQueries := 0, 0, 0
+	okLatencies := make([]float64, 0, len(reqs))
 	for i, ok := range oks {
+		totalQueries += reqs[i].queries
 		if !ok {
 			continue
 		}
 		okRequests++
-		if queryCounts != nil {
-			okQueries += queryCounts[i]
-		} else {
-			okQueries++
-		}
+		okQueries += reqs[i].queries
 		okLatencies = append(okLatencies, latencies[i])
 	}
-	totalQueries := len(bodies)
-	if queryCounts != nil {
-		totalQueries = 0
-		for _, c := range queryCounts {
-			totalQueries += c
-		}
-	}
 	rep := modeReport{
-		Requests:        len(bodies),
+		Requests:        len(reqs),
 		Queries:         totalQueries,
-		Errors:          len(bodies) - okRequests,
+		Errors:          len(reqs) - okRequests,
 		DurationSeconds: elapsed,
 	}
 	if elapsed > 0 {

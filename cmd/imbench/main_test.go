@@ -5,22 +5,23 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"imdist"
 )
 
-func karateSketch(t *testing.T) string {
+func karateSketchForModel(t *testing.T, model string, rrSets int, seed uint64) string {
 	t.Helper()
 	network, err := imdist.LoadDataset("Karate")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ig, err := network.AssignProbabilities("iwc", 7)
+	ig, err := network.AssignProbabilities("iwc", seed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := ig.NewInfluenceOracleWithOptions(imdist.OracleOptions{RRSets: 20000, Seed: 7, Workers: -1})
+	oracle, err := ig.NewInfluenceOracleWithOptions(imdist.OracleOptions{Model: model, RRSets: rrSets, Seed: seed, Workers: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,6 +30,10 @@ func karateSketch(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+func karateSketch(t *testing.T) string {
+	return karateSketchForModel(t, "IC", 20000, 7)
 }
 
 // TestBenchBothModes drives imbench end to end against an in-process Karate
@@ -99,18 +104,83 @@ func TestBenchSingleModeToFile(t *testing.T) {
 	}
 }
 
+// TestBenchMultiSketchMix drives the multi-sketch path end to end: one
+// in-process server loads an IC and an LT Karate sketch, and a weighted
+// 2:1 mix replays against the per-sketch registry routes in both modes.
+func TestBenchMultiSketchMix(t *testing.T) {
+	ic := karateSketchForModel(t, "IC", 20000, 7)
+	lt := karateSketchForModel(t, "LT", 10000, 11)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-sketch", "ic=" + ic + ",lt=" + lt,
+		"-sketches", "ic:2,lt:1",
+		"-mix", "hotspot",
+		"-queries", "60",
+		"-batch", "16",
+		"-mode", "both",
+		"-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Sketches) != 2 {
+		t.Fatalf("sketches = %+v, want 2 entries", rep.Sketches)
+	}
+	byName := map[string]sketchMixReport{}
+	for _, s := range rep.Sketches {
+		byName[s.Name] = s
+	}
+	if got := byName["ic"]; got.Queries != 40 || got.Weight != 2 || got.RRSets != 20000 {
+		t.Errorf("ic share = %+v, want 40 queries at weight 2 over 20000 rr_sets", got)
+	}
+	if got := byName["lt"]; got.Queries != 20 || got.Weight != 1 || got.RRSets != 10000 {
+		t.Errorf("lt share = %+v, want 20 queries at weight 1 over 10000 rr_sets", got)
+	}
+	if rep.Single == nil || rep.Batch == nil {
+		t.Fatalf("mode both must fill single and batch: %+v", rep)
+	}
+	if rep.Single.Requests != 60 || rep.Single.Queries != 60 {
+		t.Errorf("single mode = %d requests / %d queries, want 60/60", rep.Single.Requests, rep.Single.Queries)
+	}
+	// Batches never span sketches: ceil(40/16) + ceil(20/16) = 3 + 2.
+	if rep.Batch.Requests != 5 || rep.Batch.Queries != 60 {
+		t.Errorf("batch mode = %d requests / %d queries, want 5/60", rep.Batch.Requests, rep.Batch.Queries)
+	}
+	if rep.Single.Errors != 0 || rep.Batch.Errors != 0 {
+		t.Errorf("errors: single %d, batch %d, want 0/0", rep.Single.Errors, rep.Batch.Errors)
+	}
+}
+
 func TestBenchRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
-		{},                               // neither -addr nor -sketch
-		{"-addr", "x", "-sketch", "y"},   // both
-		{"-addr", "x", "-mix", "bogus"},  // unknown mix
-		{"-addr", "x", "-queries", "0"},  // bad queries
-		{"-addr", "x", "-batch", "0"},    // bad batch
-		{"-addr", "x", "-mode", "bogus"}, // bad mode
+		{},                                 // neither -addr nor -sketch
+		{"-addr", "x", "-sketch", "y"},     // both
+		{"-addr", "x", "-mix", "bogus"},    // unknown mix
+		{"-addr", "x", "-queries", "0"},    // bad queries
+		{"-addr", "x", "-batch", "0"},      // bad batch
+		{"-addr", "x", "-mode", "bogus"},   // bad mode
+		{"-addr", "x", "-sketches", "a:0"}, // bad target weight
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestBenchUnknownTargetSketch checks the driver fails with a clear error
+// when -sketches names a sketch the server does not hold.
+func TestBenchUnknownTargetSketch(t *testing.T) {
+	err := run([]string{
+		"-sketch", karateSketch(t),
+		"-sketches", "nope",
+		"-queries", "4",
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), `"nope" not loaded`) {
+		t.Errorf("err = %v, want unknown-sketch error", err)
 	}
 }

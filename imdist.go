@@ -482,6 +482,52 @@ func LoadSketchFile(path string) (*InfluenceOracle, error) {
 	return &InfluenceOracle{o: o}, nil
 }
 
+// MappedSketch is a sketch whose oracle may serve queries directly out of a
+// memory-mapped file (zero-copy: the RR sets alias the mapping, so loads are
+// near-instant and the page cache is shared between processes serving the
+// same sketch). The mapping's lifetime is reference-counted: Close drops the
+// owner reference, and the file is unmapped only after every reference taken
+// with Acquire has been released — the mechanism imserve's hot reload uses
+// to let in-flight queries drain on a replaced sketch.
+type MappedSketch struct {
+	m      *sketchio.MappedSketch
+	oracle *InfluenceOracle
+}
+
+// OpenSketchFile opens the sketch at path as a MappedSketch. On platforms
+// (or byte orders) without zero-copy support the sketch is decoded onto the
+// heap and the same API degrades to no-ops. The caller must Close the sketch
+// when done; queries that may run concurrently with Close must be bracketed
+// by Acquire/Release.
+func OpenSketchFile(path string) (*MappedSketch, error) {
+	m, err := sketchio.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedSketch{m: m, oracle: &InfluenceOracle{o: m.Oracle()}}, nil
+}
+
+// Oracle returns the sketch's influence oracle. When Mapped reports true its
+// queries read the mapped file, so they must complete before Close — or hold
+// an Acquire/Release reference.
+func (s *MappedSketch) Oracle() *InfluenceOracle { return s.oracle }
+
+// Mapped reports whether the oracle serves queries zero-copy out of the
+// live file mapping.
+func (s *MappedSketch) Mapped() bool { return s.m.ZeroCopy() }
+
+// Acquire takes a query reference that keeps the mapping alive across a
+// concurrent Close; it returns false once Close has been called.
+func (s *MappedSketch) Acquire() bool { return s.m.Acquire() }
+
+// Release drops a reference taken by Acquire; the last release after Close
+// unmaps the file.
+func (s *MappedSketch) Release() { s.m.Release() }
+
+// Close drops the owner reference. The file is unmapped immediately when no
+// Acquire references are outstanding, otherwise when the last is released.
+func (s *MappedSketch) Close() { s.m.Close() }
+
 // StudyOptions configures a solution-distribution study (the paper's core
 // methodology): run one approach T times at a fixed sample number and look at
 // the distribution of the random seed sets and their influences.

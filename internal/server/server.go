@@ -1,26 +1,37 @@
-// Package server exposes a loaded RR-sketch oracle (core.Oracle) over HTTP —
+// Package server exposes loaded RR-sketch oracles (core.Oracle) over HTTP —
 // the serve-many half of the build-once / serve-many pipeline. One process
-// loads a sketch built offline by imsketch and answers influence queries for
-// any number of clients; the oracle's query path is concurrency-safe, so a
-// single sketch in memory serves every connection.
+// holds a registry of named sketches (many graphs, many diffusion models,
+// many builds) and answers influence queries for any number of clients; each
+// oracle's query path is concurrency-safe, so a single sketch in memory
+// serves every connection.
 //
 // Endpoints (JSON):
 //
-//	POST /v1/influence        {"seeds":[0,5,9]}      -> {"influence":..,"ci99":..}
-//	POST /v1/influence:batch  [{"seeds":[0]},..]     -> [{"influence":..},..]
-//	POST /v1/seeds            {"k":4}                -> {"seeds":[..],"influence":..}
-//	GET  /v1/top?k=10                                -> {"vertices":[..],"influences":[..]}
-//	GET  /healthz                                    -> sketch metadata + cache stats
+//	POST /v1/sketches/{name}/influence        {"seeds":[0,5,9]}  -> {"influence":..,"ci99":..}
+//	POST /v1/sketches/{name}/influence:batch  [{"seeds":[0]},..] -> [{"influence":..},..]
+//	POST /v1/sketches/{name}/seeds            {"k":4}            -> {"seeds":[..],"influence":..}
+//	GET  /v1/sketches/{name}/top?k=10                            -> {"vertices":[..],"influences":[..]}
+//	GET  /v1/sketches                                            -> per-sketch metadata + cache stats
+//	POST /v1/admin/sketches                   {"name":..,"path":..} -> load or hot-replace a sketch
+//	DELETE /v1/admin/sketches/{name}                             -> unload a sketch
+//	GET  /healthz                                                -> server + default-sketch summary
 //
-// The batch endpoint accepts a JSON array of influence requests, evaluates
-// the uncached ones in one pass through the oracle's sharded batch engine,
-// and returns one result per item in request order; invalid items carry a
-// per-item "error" field instead of failing the whole batch.
+// The unnamed legacy routes (POST /v1/influence, POST /v1/influence:batch,
+// POST /v1/seeds, GET /v1/top) alias a configurable default sketch, so
+// single-sketch clients keep working unchanged.
 //
-// Results are memoized in an LRU cache keyed by canonicalized requests
-// (seed sets are sorted and deduplicated first), request bodies are
-// size-limited, and ListenAndServe drains in-flight requests on context
-// cancellation.
+// Reloads are copy-on-swap: a replacement sketch becomes visible atomically,
+// queries already in flight finish on the oracle they started with, and a
+// memory-mapped sketch is unmapped only after its last query releases its
+// reference (internal/sketchio refcounting).
+//
+// Results are memoized in a per-sketch LRU cache keyed by the sketch's
+// identity (name, model, build seed, shape) plus the canonicalized request,
+// so entries can never collide across sketches or across reloads that change
+// a sketch's contents. Cold-cache /v1/seeds and /v1/top computations are
+// single-flighted: concurrent identical requests share one greedy run.
+// Request bodies are size-limited, and ListenAndServe drains in-flight
+// requests on context cancellation.
 package server
 
 import (
@@ -45,15 +56,36 @@ const (
 	DefaultMaxSeeds        = 100_000
 	DefaultMaxK            = 10_000
 	DefaultMaxBatchQueries = 1024
-	shutdownGrace          = 10 * time.Second
+	// DefaultSketchName is the name Config.Oracle is registered under when
+	// Config.DefaultSketch does not say otherwise.
+	DefaultSketchName = "default"
+	// DefaultReadTimeout bounds how long a client may take to send a request.
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds how long a response may take to compute and
+	// write. It is sized for large /v1/influence:batch responses on slow
+	// clients — the previous hard-coded 60s cut such responses mid-stream.
+	DefaultWriteTimeout = 2 * time.Minute
+	shutdownGrace       = 10 * time.Second
 )
 
-// Config configures a Server. The zero value of every field except Oracle
-// selects a sensible default.
+// Config configures a Server. The zero value of every field selects a
+// sensible default; at least one sketch (Oracle or Sketches) is required
+// unless AllowEmpty is set.
 type Config struct {
-	// Oracle is the loaded sketch to serve. Required.
+	// Oracle, when non-nil, is registered as the default sketch under
+	// DefaultSketch (or DefaultSketchName) — the single-sketch configuration.
 	Oracle *core.Oracle
-	// CacheSize is the maximum number of memoized query results
+	// Sketches are additional named in-memory sketches to serve.
+	Sketches map[string]*core.Oracle
+	// DefaultSketch is the sketch name aliased by the legacy unnamed routes.
+	// Empty means the name Oracle was registered under, else the first
+	// sketch loaded.
+	DefaultSketch string
+	// AllowEmpty permits starting with no sketches loaded (they arrive later
+	// via Registry().LoadFile or the admin endpoint, as imserve -sketch-dir
+	// does). Queries 404 until a sketch is loaded.
+	AllowEmpty bool
+	// CacheSize is the maximum number of memoized query results per sketch
 	// (default DefaultCacheSize; negative disables caching).
 	CacheSize int
 	// MaxBodyBytes limits request body sizes (default DefaultMaxBodyBytes).
@@ -70,21 +102,29 @@ type Config struct {
 	// engine for each /v1/influence:batch request. The zero value selects one
 	// worker per CPU; 1 evaluates batches on the request goroutine.
 	BatchWorkers int
+	// ReadTimeout and WriteTimeout bound the HTTP request read and response
+	// write of ListenAndServe's server. Zero selects DefaultReadTimeout /
+	// DefaultWriteTimeout; negative disables the limit entirely (trusted
+	// networks with arbitrarily slow clients).
+	ReadTimeout time.Duration
+	// WriteTimeout: see ReadTimeout. The batch handler additionally resets
+	// the write deadline after evaluation, so the configured budget applies
+	// to writing the response rather than being consumed by computation.
+	WriteTimeout time.Duration
 }
 
 // Server answers oracle queries over HTTP.
 type Server struct {
-	oracle *core.Oracle
-	cache  *lruCache
-	cfg    Config
-	mux    *http.ServeMux
-	start  time.Time
+	registry *Registry
+	cfg      Config
+	mux      *http.ServeMux
+	start    time.Time
 }
 
 // New validates cfg, fills in defaults and returns a ready Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Oracle == nil {
-		return nil, errors.New("server: Config.Oracle is required")
+	if cfg.Oracle == nil && len(cfg.Sketches) == 0 && !cfg.AllowEmpty {
+		return nil, errors.New("server: Config requires at least one sketch (Oracle or Sketches), or AllowEmpty")
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = DefaultCacheSize
@@ -104,34 +144,93 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BatchWorkers == 0 {
 		cfg.BatchWorkers = -1
 	}
-	s := &Server{
-		oracle: cfg.Oracle,
-		cache:  newLRUCache(cfg.CacheSize),
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+	switch {
+	case cfg.ReadTimeout == 0:
+		cfg.ReadTimeout = DefaultReadTimeout
+	case cfg.ReadTimeout < 0:
+		cfg.ReadTimeout = 0
 	}
+	switch {
+	case cfg.WriteTimeout == 0:
+		cfg.WriteTimeout = DefaultWriteTimeout
+	case cfg.WriteTimeout < 0:
+		cfg.WriteTimeout = 0
+	}
+	s := &Server{
+		registry: NewRegistry(cfg.CacheSize),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	if cfg.Oracle != nil {
+		name := cfg.DefaultSketch
+		if name == "" {
+			name = DefaultSketchName
+		}
+		if err := s.registry.Register(name, cfg.Oracle); err != nil {
+			return nil, err
+		}
+	}
+	// Register named sketches in sorted order so "first loaded becomes
+	// default" is deterministic when no default is named.
+	names := make([]string, 0, len(cfg.Sketches))
+	for name := range cfg.Sketches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.registry.Register(name, cfg.Sketches[name]); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DefaultSketch != "" {
+		if err := s.registry.SetDefault(cfg.DefaultSketch); err != nil {
+			return nil, err
+		}
+	}
+
+	// Legacy unnamed routes alias the default sketch.
 	s.mux.HandleFunc("POST /v1/influence", s.handleInfluence)
 	s.mux.HandleFunc("POST /v1/influence:batch", s.handleBatchInfluence)
 	s.mux.HandleFunc("POST /v1/seeds", s.handleSeeds)
 	s.mux.HandleFunc("GET /v1/top", s.handleTop)
+	// Named per-sketch routes.
+	s.mux.HandleFunc("POST /v1/sketches/{sketch}/influence", s.handleInfluence)
+	s.mux.HandleFunc("POST /v1/sketches/{sketch}/influence:batch", s.handleBatchInfluence)
+	s.mux.HandleFunc("POST /v1/sketches/{sketch}/seeds", s.handleSeeds)
+	s.mux.HandleFunc("GET /v1/sketches/{sketch}/top", s.handleTop)
+	// Registry introspection and administration.
+	s.mux.HandleFunc("GET /v1/sketches", s.handleListSketches)
+	s.mux.HandleFunc("POST /v1/admin/sketches", s.handleAdminLoad)
+	s.mux.HandleFunc("DELETE /v1/admin/sketches/{sketch}", s.handleAdminUnload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
 }
 
+// Registry returns the server's sketch registry, through which callers load,
+// replace and unload sketches at runtime (imserve's -sketch-dir SIGHUP
+// rescan drives this).
+func (s *Server) Registry() *Registry { return s.registry }
+
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpServer builds the net/http server ListenAndServe runs, applying the
+// configured timeouts (already normalized by New).
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+	}
+}
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
 // gracefully, draining in-flight requests for up to shutdownGrace.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-	}
+	srv := s.httpServer(addr)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -156,6 +255,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// entryFor resolves the request's sketch ({sketch} path segment, or the
+// default for legacy unnamed routes) and takes a query reference on it; on
+// success the caller must release() it when done. On failure a 404 has been
+// written.
+func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*sketchEntry, bool) {
+	name := r.PathValue("sketch")
+	e, ok := s.registry.acquire(name)
+	if !ok {
+		if name == "" {
+			writeError(w, http.StatusNotFound, "no default sketch loaded (default %q)", s.registry.DefaultName())
+		} else {
+			writeError(w, http.StatusNotFound, "sketch %q not loaded", name)
+		}
+		return nil, false
+	}
+	return e, true
+}
+
+// extendWriteDeadline restarts the response write budget. net/http's
+// WriteTimeout clock starts when the request is read, so a slow evaluation
+// would otherwise eat the whole budget and cut large responses mid-stream;
+// resetting after evaluation makes the configured timeout bound the write
+// itself, which is the documented meaning of Config.WriteTimeout.
+func (s *Server) extendWriteDeadline(w http.ResponseWriter) {
+	if s.cfg.WriteTimeout > 0 {
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
 }
 
 // decodeBody strictly decodes a size-limited JSON body into v.
@@ -192,6 +320,8 @@ func canonicalSeeds(seeds []int) []graph.VertexID {
 	return dedup
 }
 
+// seedsKey renders a canonical seed set as the sketch-local part of a cache
+// key; the sketch identity prefix is prepended by the caller.
 func seedsKey(seeds []graph.VertexID) string {
 	var b strings.Builder
 	b.Grow(len(seeds)*8 + 2)
@@ -219,7 +349,7 @@ type influenceResponse struct {
 // server's limits and the oracle's vertex range; it returns a user-facing
 // error message, or "" when the request is valid. Shared by the single and
 // batch influence handlers so both reject exactly the same inputs.
-func (s *Server) validateInfluenceSeeds(seeds []int) string {
+func (s *Server) validateInfluenceSeeds(oracle *core.Oracle, seeds []int) string {
 	if len(seeds) == 0 {
 		return "seeds must be non-empty"
 	}
@@ -228,29 +358,34 @@ func (s *Server) validateInfluenceSeeds(seeds []int) string {
 	}
 	for _, v := range seeds {
 		// Reject before the int32 conversion in canonicalSeeds can wrap.
-		if v < 0 || v >= s.oracle.NumVertices() {
-			return fmt.Sprintf("seed vertex %d not in [0, %d)", v, s.oracle.NumVertices())
+		if v < 0 || v >= oracle.NumVertices() {
+			return fmt.Sprintf("seed vertex %d not in [0, %d)", v, oracle.NumVertices())
 		}
 	}
 	return ""
 }
 
 func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
 	var req influenceRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if msg := s.validateInfluenceSeeds(req.Seeds); msg != "" {
+	if msg := s.validateInfluenceSeeds(e.oracle, req.Seeds); msg != "" {
 		writeError(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
 	seeds := canonicalSeeds(req.Seeds)
-	key := seedsKey(seeds)
-	if v, ok := s.cache.Get(key); ok {
+	key := e.keyPrefix + seedsKey(seeds)
+	if v, ok := e.cache.Get(key); ok {
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	inf, err := s.oracle.Influence(seeds)
+	inf, err := e.oracle.Influence(seeds)
 	if err != nil {
 		// Unreachable after the range check above, but the oracle's own
 		// validation is the final authority.
@@ -259,10 +394,10 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := influenceResponse{
 		Influence: inf,
-		CI99:      s.oracle.ConfidenceHalfWidth(2.576),
+		CI99:      e.oracle.ConfidenceHalfWidth(2.576),
 		Seeds:     len(seeds),
 	}
-	s.cache.Put(key, resp)
+	e.cache.Put(key, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -276,6 +411,11 @@ type batchItemResponse struct {
 }
 
 func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
 	var reqs []influenceRequest
 	if !s.decodeBody(w, r, &reqs) {
 		return
@@ -289,7 +429,7 @@ func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	items := make([]batchItemResponse, len(reqs))
-	// Resolve each item against the shared LRU first (batch and single
+	// Resolve each item against the sketch's LRU first (batch and single
 	// requests use the same canonical cache keys), collecting the misses —
 	// deduplicated by canonical key, so a batch of repeated hotspot queries
 	// costs one engine evaluation per distinct seed set — for one pass
@@ -302,17 +442,17 @@ func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
 	var pending []pendingQuery
 	pendingByKey := make(map[string]int)
 	for i, req := range reqs {
-		if msg := s.validateInfluenceSeeds(req.Seeds); msg != "" {
+		if msg := s.validateInfluenceSeeds(e.oracle, req.Seeds); msg != "" {
 			items[i].Error = msg
 			continue
 		}
 		seeds := canonicalSeeds(req.Seeds)
-		key := seedsKey(seeds)
+		key := e.keyPrefix + seedsKey(seeds)
 		if j, ok := pendingByKey[key]; ok {
 			pending[j].items = append(pending[j].items, i)
 			continue
 		}
-		if v, ok := s.cache.Get(key); ok {
+		if v, ok := e.cache.Get(key); ok {
 			resp := v.(influenceResponse)
 			items[i].influenceResponse = &resp
 			continue
@@ -325,8 +465,8 @@ func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
 		for j, p := range pending {
 			seedSets[j] = p.seeds
 		}
-		values, errs := s.oracle.BatchInfluence(seedSets, s.cfg.BatchWorkers)
-		ci := s.oracle.ConfidenceHalfWidth(2.576)
+		values, errs := e.oracle.BatchInfluence(seedSets, s.cfg.BatchWorkers)
+		ci := e.oracle.ConfidenceHalfWidth(2.576)
 		for j, p := range pending {
 			if errs[j] != nil {
 				// Unreachable after validateInfluenceSeeds, but the oracle's
@@ -337,12 +477,15 @@ func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			resp := influenceResponse{Influence: values[j], CI99: ci, Seeds: len(p.seeds)}
-			s.cache.Put(p.key, resp)
+			e.cache.Put(p.key, resp)
 			for _, i := range p.items {
 				items[i].influenceResponse = &resp
 			}
 		}
 	}
+	// Large batches can spend a while in the engine; give the response write
+	// its full configured budget instead of whatever the evaluation left.
+	s.extendWriteDeadline(w)
 	writeJSON(w, http.StatusOK, items)
 }
 
@@ -356,6 +499,11 @@ type seedsResponse struct {
 }
 
 func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
 	var req seedsRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -364,24 +512,38 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", s.cfg.MaxK, req.K)
 		return
 	}
-	key := "g:" + strconv.Itoa(req.K)
-	if v, ok := s.cache.Get(key); ok {
+	key := e.keyPrefix + "g:" + strconv.Itoa(req.K)
+	if v, ok := e.cache.Get(key); ok {
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	seeds := s.oracle.GreedySeeds(req.K)
-	inf, err := s.oracle.Influence(seeds)
+	// Single-flight the greedy run: N concurrent cold-cache requests for the
+	// same (sketch, k) compute once and share the result instead of each
+	// running GreedySeeds (the cache stampede this endpoint used to have).
+	v, err := e.flight.Do(key, func() (any, error) {
+		if v, ok := e.cache.Get(key); ok {
+			return v, nil
+		}
+		e.seedRuns.Add(1)
+		seeds := e.oracle.GreedySeeds(req.K)
+		inf, err := e.oracle.Influence(seeds)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, len(seeds))
+		for i, v := range seeds {
+			out[i] = int(v)
+		}
+		resp := seedsResponse{Seeds: out, Influence: inf}
+		e.cache.Put(key, resp)
+		return resp, nil
+	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	out := make([]int, len(seeds))
-	for i, v := range seeds {
-		out[i] = int(v)
-	}
-	resp := seedsResponse{Seeds: out, Influence: inf}
-	s.cache.Put(key, resp)
-	writeJSON(w, http.StatusOK, resp)
+	s.extendWriteDeadline(w)
+	writeJSON(w, http.StatusOK, v)
 }
 
 type topResponse struct {
@@ -390,6 +552,11 @@ type topResponse struct {
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
 	// The default must respect MaxK, or a bare GET /v1/top would 400 on
 	// servers configured with MaxK < 10.
 	k := min(10, s.cfg.MaxK)
@@ -405,46 +572,180 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", s.cfg.MaxK, k)
 		return
 	}
-	key := "t:" + strconv.Itoa(k)
-	if v, ok := s.cache.Get(key); ok {
+	key := e.keyPrefix + "t:" + strconv.Itoa(k)
+	if v, ok := e.cache.Get(key); ok {
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	vs, infs := s.oracle.TopSingleVertices(k)
-	out := make([]int, len(vs))
-	for i, v := range vs {
-		out[i] = int(v)
+	// Ranking all vertices is a full scan; single-flight it like /v1/seeds.
+	v, err := e.flight.Do(key, func() (any, error) {
+		if v, ok := e.cache.Get(key); ok {
+			return v, nil
+		}
+		vs, infs := e.oracle.TopSingleVertices(k)
+		out := make([]int, len(vs))
+		for i, v := range vs {
+			out[i] = int(v)
+		}
+		resp := topResponse{Vertices: out, Influences: infs}
+		e.cache.Put(key, resp)
+		return resp, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
-	resp := topResponse{Vertices: out, Influences: infs}
-	s.cache.Put(key, resp)
+	s.extendWriteDeadline(w)
+	writeJSON(w, http.StatusOK, v)
+}
+
+// sketchInfo is the per-sketch metadata reported by GET /v1/sketches (and,
+// for the default sketch, flattened into /healthz).
+type sketchInfo struct {
+	Name             string  `json:"name"`
+	Default          bool    `json:"default"`
+	Vertices         int     `json:"vertices"`
+	RRSets           int     `json:"rr_sets"`
+	Model            string  `json:"model"`
+	BuildSeed        uint64  `json:"build_seed"`
+	CI99             float64 `json:"ci99"`
+	Source           string  `json:"source,omitempty"`
+	Mapped           bool    `json:"mapped"`
+	LoadedAgeSeconds float64 `json:"loaded_age_seconds"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	CacheSize        int     `json:"cache_size"`
+	SeedComputations uint64  `json:"seed_computations"`
+}
+
+func (s *Server) infoFor(e *sketchEntry, defaultName string) sketchInfo {
+	hits, misses, size := e.cache.Stats()
+	return sketchInfo{
+		Name:             e.name,
+		Default:          e.name == defaultName,
+		Vertices:         e.oracle.NumVertices(),
+		RRSets:           e.oracle.NumSets(),
+		Model:            e.oracle.Model().String(),
+		BuildSeed:        e.oracle.BuildSeed(),
+		CI99:             e.oracle.ConfidenceHalfWidth(2.576),
+		Source:           e.source,
+		Mapped:           e.mapped != nil && e.mapped.ZeroCopy(),
+		LoadedAgeSeconds: time.Since(e.loadedAt).Seconds(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheSize:        size,
+		SeedComputations: e.seedRuns.Load(),
+	}
+}
+
+type listSketchesResponse struct {
+	Default  string       `json:"default"`
+	Sketches []sketchInfo `json:"sketches"`
+}
+
+func (s *Server) handleListSketches(w http.ResponseWriter, r *http.Request) {
+	entries, defaultName := s.registry.snapshot()
+	resp := listSketchesResponse{Default: defaultName, Sketches: make([]sketchInfo, 0, len(entries))}
+	for _, e := range entries {
+		resp.Sketches = append(resp.Sketches, s.infoFor(e, defaultName))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// adminLoadRequest asks the server to load (or hot-replace) the sketch file
+// at Path under Name; Default additionally points the legacy unnamed routes
+// at it.
+type adminLoadRequest struct {
+	Name    string `json:"name"`
+	Path    string `json:"path"`
+	Default bool   `json:"default"`
+}
+
+func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
+	var req adminLoadRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "path is required")
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "name is required")
+		return
+	}
+	if err := s.registry.LoadFile(req.Name, req.Path); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Default {
+		if err := s.registry.SetDefault(req.Name); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	e, ok := s.registry.acquire(req.Name)
+	if !ok {
+		// The sketch was unloaded again between load and report; rare but
+		// not an error worth failing the load over.
+		writeJSON(w, http.StatusOK, errorResponse{})
+		return
+	}
+	defer e.release()
+	writeJSON(w, http.StatusOK, s.infoFor(e, s.registry.DefaultName()))
+}
+
+func (s *Server) handleAdminUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("sketch")
+	if err := s.registry.Unload(name); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownSketch) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "name": name})
+}
+
 type healthzResponse struct {
-	Status        string  `json:"status"`
-	Vertices      int     `json:"vertices"`
-	RRSets        int     `json:"rr_sets"`
-	Model         string  `json:"model"`
-	BuildSeed     uint64  `json:"build_seed"`
-	CI99          float64 `json:"ci99"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheSize     int     `json:"cache_size"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status string `json:"status"`
+	// The flat sketch fields describe the default sketch, preserving the
+	// single-sketch healthz contract older clients (and imbench) rely on.
+	Vertices      int      `json:"vertices"`
+	RRSets        int      `json:"rr_sets"`
+	Model         string   `json:"model"`
+	BuildSeed     uint64   `json:"build_seed"`
+	CI99          float64  `json:"ci99"`
+	CacheHits     uint64   `json:"cache_hits"`
+	CacheMisses   uint64   `json:"cache_misses"`
+	CacheSize     int      `json:"cache_size"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	DefaultSketch string   `json:"default_sketch"`
+	SketchNames   []string `json:"sketch_names"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	hits, misses, size := s.cache.Stats()
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:        "ok",
-		Vertices:      s.oracle.NumVertices(),
-		RRSets:        s.oracle.NumSets(),
-		Model:         s.oracle.Model().String(),
-		BuildSeed:     s.oracle.BuildSeed(),
-		CI99:          s.oracle.ConfidenceHalfWidth(2.576),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheSize:     size,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+		DefaultSketch: s.registry.DefaultName(),
+		SketchNames:   s.registry.Names(),
+	}
+	if len(resp.SketchNames) == 0 {
+		resp.Status = "no sketches loaded"
+	}
+	if e, ok := s.registry.acquire(""); ok {
+		hits, misses, size := e.cache.Stats()
+		resp.Vertices = e.oracle.NumVertices()
+		resp.RRSets = e.oracle.NumSets()
+		resp.Model = e.oracle.Model().String()
+		resp.BuildSeed = e.oracle.BuildSeed()
+		resp.CI99 = e.oracle.ConfidenceHalfWidth(2.576)
+		resp.CacheHits = hits
+		resp.CacheMisses = misses
+		resp.CacheSize = size
+		e.release()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

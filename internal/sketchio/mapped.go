@@ -1,0 +1,209 @@
+package sketchio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"unsafe"
+
+	"imdist/internal/core"
+	"imdist/internal/graph"
+)
+
+// Compile-time assertion that graph.VertexID is exactly 4 bytes: the
+// zero-copy decode reinterprets the mapped payload as []graph.VertexID, which
+// is only sound while the on-disk record layout (4-byte little-endian ids)
+// matches the in-memory representation.
+var _ = [1]struct{}{}[unsafe.Sizeof(graph.VertexID(0))-4]
+
+// hostLittleEndian reports whether this machine stores integers in the
+// sketch file's byte order, the precondition for aliasing the mapping.
+var hostLittleEndian = func() bool {
+	var buf [2]byte
+	binary.NativeEndian.PutUint16(buf[:], 1)
+	return buf[0] == 1
+}()
+
+// MappedSketch is a loaded sketch whose backing storage has an explicit
+// lifetime. When the platform supports memory mapping and the host is
+// little-endian, the oracle's RR sets alias the mapped file directly — no
+// per-record copies, and the page cache is shared between every process
+// serving the same sketch — which means the mapping must outlive every query
+// that walks an RR set.
+//
+// Lifetime is managed by reference counting: callers bracket each query with
+// Acquire/Release, and Close drops the owner reference. The munmap is
+// deferred until both the owner and every in-flight query have released, so
+// a hot reload can swap a new sketch in immediately while queries drain on
+// the old one (the copy-on-swap semantics of internal/server's registry).
+//
+// When mapping or aliasing is unavailable the sketch decodes onto the heap
+// and the same API degrades to no-ops, so callers never need to care which
+// mode they got.
+type MappedSketch struct {
+	oracle *core.Oracle
+
+	mu     sync.Mutex
+	refs   int
+	closed bool
+	unmap  func()
+
+	zeroCopy bool
+}
+
+// OpenMapped loads the sketch at path, memory-mapping it and aliasing the
+// oracle's RR sets into the mapping when the platform and byte order allow;
+// otherwise it falls back to a heap-decoded oracle with the same refcounting
+// API. The caller owns one reference and must call Close when done; queries
+// issued concurrently with Close must hold their own Acquire/Release pair.
+//
+// Because the mapping is shared with the file, a mapped sketch file must
+// only ever be replaced atomically (write to a temp file, then rename into
+// place — what WriteFile and imsketch always do), never rewritten in place:
+// validation runs once at open time, so in-place writes would corrupt the
+// records under live queries.
+func OpenMapped(path string) (*MappedSketch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, unmap, ok := mmapFile(f)
+	if !ok {
+		oracle, err := Decode(f)
+		if err != nil {
+			return nil, err
+		}
+		return &MappedSketch{oracle: oracle}, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%4 == 0 {
+		oracle, err := decodeAliased(data)
+		if err != nil {
+			unmap()
+			return nil, err
+		}
+		return &MappedSketch{oracle: oracle, unmap: unmap, zeroCopy: true}, nil
+	}
+	// Big-endian or misaligned mapping: decode by copying and release the
+	// mapping immediately — the oracle owns heap memory.
+	oracle, err := DecodeBytes(data)
+	unmap()
+	if err != nil {
+		return nil, err
+	}
+	return &MappedSketch{oracle: oracle}, nil
+}
+
+// Oracle returns the loaded oracle. When ZeroCopy reports true its RR sets
+// alias the mapping, so every use must sit inside an Acquire/Release pair or
+// complete before Close.
+func (m *MappedSketch) Oracle() *core.Oracle { return m.oracle }
+
+// ZeroCopy reports whether the oracle's RR sets alias the live mapping
+// (false for heap-decoded fallbacks, whose lifetime is the garbage
+// collector's problem).
+func (m *MappedSketch) ZeroCopy() bool { return m.zeroCopy }
+
+// Acquire takes a query reference, preventing the mapping from being
+// unmapped until the matching Release. It returns false once Close has been
+// called; callers must then treat the sketch as gone.
+func (m *MappedSketch) Acquire() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.refs++
+	return true
+}
+
+// Release drops a query reference taken by Acquire. The last release after
+// Close unmaps the file.
+func (m *MappedSketch) Release() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.refs--; m.refs < 0 {
+		panic("sketchio: MappedSketch.Release without Acquire")
+	}
+	m.maybeUnmapLocked()
+}
+
+// Close drops the owner reference. If queries are still in flight the unmap
+// is deferred to the last Release; new Acquires fail immediately.
+func (m *MappedSketch) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.maybeUnmapLocked()
+}
+
+func (m *MappedSketch) maybeUnmapLocked() {
+	if m.closed && m.refs == 0 && m.unmap != nil {
+		m.unmap()
+		m.unmap = nil
+	}
+}
+
+// unmapped reports whether the mapping has been released (test hook; always
+// false for heap-decoded sketches, which never had one).
+func (m *MappedSketch) unmapped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.zeroCopy && m.unmap == nil
+}
+
+// decodeAliased validates a complete in-memory sketch image and builds an
+// oracle whose RR sets are views into data's payload rather than copies.
+// Every check of the streaming decoder still runs — checksum first, then
+// header sanity, then per-record bounds and per-vertex range checks — the
+// only difference is that the validated records are not copied out. Unlike
+// Decode, which tolerates stream framing after the checksum, the image must
+// contain exactly one sketch: trailing bytes are corruption.
+func decodeAliased(data []byte) (*core.Oracle, error) {
+	if len(data) < headerLen+4 {
+		return nil, errShortSketch
+	}
+	body := data[:len(data)-4]
+	if binary.LittleEndian.Uint32(data[len(data)-4:]) != crc32.Checksum(body, castagnoliTab) {
+		return nil, ErrChecksum
+	}
+	h, err := parseHeader(body[:headerLen])
+	if err != nil {
+		return nil, err
+	}
+	payload := body[headerLen:]
+	if h.payloadLen != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: header declares %d payload bytes, file carries %d", ErrCorrupt, h.payloadLen, len(payload))
+	}
+	rrSets := make([][]graph.VertexID, h.numSets)
+	off := 0
+	for i := 0; i < h.numSets; i++ {
+		if len(payload)-off < 4 {
+			return nil, fmt.Errorf("%w: payload exhausted at RR set %d", ErrCorrupt, i)
+		}
+		count := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if count > h.n {
+			return nil, fmt.Errorf("%w: RR set %d claims %d members on a %d-vertex graph", ErrCorrupt, i, count, h.n)
+		}
+		if len(payload)-off < 4*count {
+			return nil, fmt.Errorf("%w: RR set %d overruns payload", ErrCorrupt, i)
+		}
+		if count > 0 {
+			set := unsafe.Slice((*graph.VertexID)(unsafe.Pointer(&payload[off])), count)
+			for _, v := range set {
+				if uint32(v) >= uint32(h.n) {
+					return nil, fmt.Errorf("%w: RR set %d contains vertex %d outside [0, %d)", ErrCorrupt, i, v, h.n)
+				}
+			}
+			rrSets[i] = set
+		}
+		off += 4 * count
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d unread payload bytes after last RR set", ErrCorrupt, len(payload)-off)
+	}
+	return core.NewOracleFromRRSets(h.n, h.model, h.seed, rrSets)
+}

@@ -1,0 +1,143 @@
+package sketchio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func writeSketchFile(t *testing.T, raw []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.sketch")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenMappedMatchesStreamingDecode(t *testing.T) {
+	o := karateOracle(t, 5000, 42)
+	raw := encode(t, o)
+	m, err := OpenMapped(writeSketchFile(t, raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	assertOraclesEqual(t, o, m.Oracle())
+	if m.Oracle().BuildSeed() != 42 {
+		t.Errorf("BuildSeed = %d, want 42", m.Oracle().BuildSeed())
+	}
+	// Re-encoding the mapped oracle must reproduce the file byte for byte:
+	// the aliased RR sets are the file's own records.
+	var buf bytes.Buffer
+	if err := Encode(&buf, m.Oracle()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Error("re-encoded mapped sketch differs from the original file")
+	}
+}
+
+// TestMappedRefcountDefersUnmap pins the copy-on-swap contract: Close with a
+// query reference outstanding must not unmap; the last Release must.
+func TestMappedRefcountDefersUnmap(t *testing.T) {
+	o := karateOracle(t, 500, 3)
+	m, err := OpenMapped(writeSketchFile(t, encode(t, o)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ZeroCopy() {
+		t.Skip("platform does not support zero-copy mapping")
+	}
+	if !m.Acquire() {
+		t.Fatal("Acquire before Close failed")
+	}
+	m.Close()
+	if m.unmapped() {
+		t.Fatal("Close unmapped while a query reference was held")
+	}
+	// The mapping is still valid: queries through the held reference succeed.
+	if _, err := m.Oracle().Influence([]int32{0, 33}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acquire() {
+		t.Error("Acquire after Close succeeded")
+	}
+	m.Release()
+	if !m.unmapped() {
+		t.Error("last Release did not unmap")
+	}
+}
+
+func TestMappedRefcountConcurrent(t *testing.T) {
+	o := karateOracle(t, 2000, 9)
+	m, err := OpenMapped(writeSketchFile(t, encode(t, o)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := o.Influence([]int32{0, 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !m.Acquire() {
+					return // closed mid-run: stop querying
+				}
+				got, err := m.Oracle().Influence([]int32{0, 33})
+				if err != nil || got != want {
+					t.Errorf("Influence = %v, %v; want %v", got, err, want)
+				}
+				m.Release()
+			}
+		}()
+	}
+	m.Close()
+	wg.Wait()
+}
+
+// TestOpenMappedRejectsCorruption checks the aliasing decoder enforces the
+// same strictness as the streaming one: truncation, bit flips and trailing
+// garbage are all errors, never panics.
+func TestOpenMappedRejectsCorruption(t *testing.T) {
+	o := karateOracle(t, 100, 5)
+	raw := encode(t, o)
+	dir := t.TempDir()
+	write := func(b []byte) string {
+		path := filepath.Join(dir, "mut.sketch")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	for _, cut := range []int{0, 1, headerLen - 1, headerLen, len(raw) / 2, len(raw) - 1} {
+		if m, err := OpenMapped(write(raw[:cut])); err == nil {
+			m.Close()
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(raw))
+		}
+	}
+	for pos := 0; pos < len(raw); pos += 7 {
+		mut := bytes.Clone(raw)
+		mut[pos] ^= 1
+		if m, err := OpenMapped(write(mut)); err == nil {
+			m.Close()
+			t.Fatalf("bit flip at byte %d accepted", pos)
+		}
+	}
+	if m, err := OpenMapped(write(append(bytes.Clone(raw), 0xEE))); err == nil {
+		m.Close()
+		t.Fatal("trailing garbage accepted by the aliasing decoder")
+	} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) {
+		t.Errorf("trailing garbage: err = %v, want corruption", err)
+	}
+	if _, err := OpenMapped(filepath.Join(dir, "missing.sketch")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

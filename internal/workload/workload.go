@@ -5,12 +5,16 @@
 //
 // It also generates query workloads for the serving side: reproducible
 // seed-set mixes (uniform, hotspot, singleton) that load drivers such as
-// cmd/imbench replay against a running influence server.
+// cmd/imbench replay against a running influence server, and weighted
+// multi-sketch target mixes (ParseTargets, TargetSequence) that spread one
+// query stream across several named sketches of a multi-sketch server.
 package workload
 
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"imdist/internal/graph"
 	"imdist/internal/rng"
@@ -107,6 +111,80 @@ func Assign(g *graph.Graph, m Model, src rng.Source) (*graph.InfluenceGraph, err
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownModel, int(m))
 	}
+}
+
+// Target is one named sketch in a multi-sketch benchmark mix, with a
+// round-robin selection weight: a server holding several sketches is driven
+// with traffic interleaved across them in proportion to the weights.
+type Target struct {
+	Name   string
+	Weight int
+}
+
+// ParseTargets parses a multi-sketch mix specification of the form
+// "name[:weight],name[:weight],...", e.g. "karate-ic:2,karate-lt" (weights
+// default to 1). Names must be non-empty and unique; weights must be >= 1.
+func ParseTargets(s string) ([]Target, error) {
+	if s == "" {
+		return nil, errors.New("workload: empty target mix")
+	}
+	parts := strings.Split(s, ",")
+	targets := make([]Target, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, part := range parts {
+		name, weightStr, hasWeight := strings.Cut(strings.TrimSpace(part), ":")
+		t := Target{Name: name, Weight: 1}
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("workload: target %q: weight must be a positive integer", part)
+			}
+			t.Weight = w
+		}
+		if t.Name == "" {
+			return nil, fmt.Errorf("workload: target %q: empty sketch name", part)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("workload: duplicate target %q", t.Name)
+		}
+		seen[t.Name] = true
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+// TargetSequence deterministically assigns one target name to each of count
+// queries by cycling a weighted round-robin pattern: targets appear in order,
+// each repeated Weight times per cycle, so "a:2,b:1" yields a,a,b,a,a,b,...
+// Equal inputs always produce the same sequence, keeping multi-sketch
+// benchmark runs replayable. The pattern is indexed arithmetically, never
+// materialized, so huge weights cost nothing.
+func TargetSequence(targets []Target, count int) ([]string, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("workload: target sequence needs at least one target")
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative query count %d", count)
+	}
+	total := 0
+	for _, t := range targets {
+		if t.Weight < 1 {
+			return nil, fmt.Errorf("workload: target %q: weight must be >= 1, got %d", t.Name, t.Weight)
+		}
+		total += t.Weight
+	}
+	seq := make([]string, count)
+	for i := range seq {
+		r := i % total
+		for _, t := range targets {
+			if r < t.Weight {
+				seq[i] = t.Name
+				break
+			}
+			r -= t.Weight
+		}
+	}
+	return seq, nil
 }
 
 // Mix identifies a seed-set query mix for influence-server load generation.

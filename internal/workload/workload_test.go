@@ -3,6 +3,7 @@ package workload
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"imdist/internal/graph"
@@ -295,5 +296,47 @@ func TestAssignUnknownModel(t *testing.T) {
 	g := testGraph(t)
 	if _, err := Assign(g, Model(99), nil); !errors.Is(err, ErrUnknownModel) {
 		t.Errorf("Assign with unknown model err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	got, err := ParseTargets("karate-ic:2, karate-lt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Target{{Name: "karate-ic", Weight: 2}, {Name: "karate-lt", Weight: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseTargets = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "a:", "a:0", "a:-1", "a:x", ":2", "a,a", "a,,b"} {
+		if _, err := ParseTargets(bad); err == nil {
+			t.Errorf("ParseTargets(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTargetSequence(t *testing.T) {
+	targets := []Target{{Name: "a", Weight: 2}, {Name: "b", Weight: 1}}
+	seq, err := TargetSequence(targets, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "a", "b", "a", "a", "b", "a"}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("TargetSequence = %v, want %v", seq, want)
+	}
+	// Deterministic: equal inputs, equal sequence.
+	again, err := TargetSequence(targets, 7)
+	if err != nil || !reflect.DeepEqual(seq, again) {
+		t.Errorf("TargetSequence not deterministic: %v vs %v (%v)", seq, again, err)
+	}
+	if _, err := TargetSequence(nil, 3); err == nil {
+		t.Error("empty target list accepted")
+	}
+	if _, err := TargetSequence(targets, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := TargetSequence([]Target{{Name: "a", Weight: 0}}, 1); err == nil {
+		t.Error("zero weight accepted")
 	}
 }
