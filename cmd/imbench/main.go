@@ -278,7 +278,9 @@ func startInProcess(spec string) (func(), string, error) {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
-	stop := func() { _ = hs.Close() }
+	// srv.Close stops the build-service runner goroutines the Server starts;
+	// Handler-only embedders own that lifecycle.
+	stop := func() { _ = hs.Close(); srv.Close() }
 	return stop, "http://" + ln.Addr().String(), nil
 }
 

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -73,5 +76,124 @@ func TestRunRejectsMissingFlags(t *testing.T) {
 	}
 	if err := run([]string{"-out", "x.sketch"}); err == nil {
 		t.Error("missing -graph/-dataset accepted")
+	}
+	if err := run([]string{"-dataset", "Karate", "-out", "x.sketch", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	missing := filepath.Join(t.TempDir(), "none.ckpt")
+	if err := run([]string{"-dataset", "Karate", "-out", "x.sketch", "-checkpoint", missing, "-resume"}); err == nil {
+		t.Error("-resume with nonexistent checkpoint accepted")
+	}
+}
+
+// TestAdaptiveBuildWithReport drives a -target-eps build through the CLI and
+// checks the sketch converged below the cap and the JSON report records the
+// build trajectory data point.
+func TestAdaptiveBuildWithReport(t *testing.T) {
+	dir := t.TempDir()
+	sketch := filepath.Join(dir, "karate.sketch")
+	report := filepath.Join(dir, "build.json")
+	err := run([]string{
+		"-dataset", "Karate", "-prob", "iwc", "-seed", "7", "-workers", "2",
+		"-target-eps", "0.2", "-k", "4", "-rr", "2000000",
+		"-out", sketch, "-report", report,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := imdist.LoadSketchFile(sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.NumRRSets() >= 2000000 {
+		t.Errorf("adaptive build burned the whole cap: %d sets", oracle.NumRRSets())
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep buildReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.Sets != oracle.NumRRSets() || rep.Bound <= 0 || rep.Bound > 0.2 {
+		t.Errorf("report = %+v, want converged at %d sets with bound in (0, 0.2]", rep, oracle.NumRRSets())
+	}
+	if rep.Bytes == 0 || rep.Vertices != 34 {
+		t.Errorf("report metadata = %+v", rep)
+	}
+}
+
+// TestCheckpointResumeBuildsIdenticalSketch runs the same fixed-size build
+// three ways — straight, checkpointed, and checkpointed-in-two-runs (the
+// first capped short, then resumed to full size) — and requires all three
+// sketch files to be byte-identical.
+func TestCheckpointResumeBuildsIdenticalSketch(t *testing.T) {
+	dir := t.TempDir()
+	straight := filepath.Join(dir, "straight.sketch")
+	common := []string{"-dataset", "Karate", "-prob", "uc0.1", "-seed", "5", "-workers", "2", "-rr", "8000"}
+	if err := run(append(common, "-out", straight)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One checkpointed run.
+	oneGo := filepath.Join(dir, "onego.sketch")
+	if err := run(append(common, "-out", oneGo, "-checkpoint", filepath.Join(dir, "onego.ckpt"))); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(oneGo); !bytes.Equal(got, want) {
+		t.Error("checkpointed build differs from straight build")
+	}
+
+	// Interrupted run: cap at 3000 first, then resume to the full 8000.
+	ckpt := filepath.Join(dir, "resumed.ckpt")
+	partial := filepath.Join(dir, "partial.sketch")
+	first := []string{"-dataset", "Karate", "-prob", "uc0.1", "-seed", "5", "-workers", "1", "-rr", "3000",
+		"-out", partial, "-checkpoint", ckpt}
+	if err := run(first); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running without -resume must refuse to touch the existing file.
+	resumed := filepath.Join(dir, "resumed.sketch")
+	if err := run(append(common, "-out", resumed, "-checkpoint", ckpt)); err == nil {
+		t.Fatal("existing checkpoint extended without -resume")
+	}
+	if err := run(append(common, "-out", resumed, "-checkpoint", ckpt, "-resume", "-progress")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(resumed); !bytes.Equal(got, want) {
+		t.Error("resumed build differs from straight build")
+	}
+	// The checkpoint itself must verify cleanly under -info.
+	if err := run([]string{"-info", ckpt}); err != nil {
+		t.Errorf("-info on checkpoint: %v", err)
+	}
+}
+
+// TestInfoDetectsCorruption flips one payload byte of a valid sketch and
+// requires -info to verify section CRCs and fail loudly.
+func TestInfoDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "karate.sketch")
+	if err := run([]string{"-dataset", "Karate", "-rr", "5000", "-seed", "3", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", path}); err != nil {
+		t.Fatalf("-info on intact sketch: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-40] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", path}); err == nil {
+		t.Error("-info accepted a corrupt sketch")
 	}
 }

@@ -24,6 +24,7 @@
 package imdist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -527,6 +528,284 @@ func (s *MappedSketch) Release() { s.m.Release() }
 // Close drops the owner reference. The file is unmapped immediately when no
 // Acquire references are outstanding, otherwise when the last is released.
 func (s *MappedSketch) Close() { s.m.Close() }
+
+// SketchBuilder grows an RR-set sketch incrementally instead of committing
+// to a fixed RR-set count up front: AppendBatch adds more sets, ErrorBound
+// reports the sketch's current relative-error estimate, and BuildToTarget
+// loops append→check until a target error or a hard cap is reached. The
+// RR-set sequence is pinned by the build seed — a sketch grown in any batch
+// schedule, at any worker count, or across checkpoint/resume is
+// byte-identical on disk to the one-shot build of the same total — so
+// incremental building costs nothing in reproducibility.
+//
+// A SketchBuilder is not safe for concurrent use; each batch parallelizes
+// internally across the configured workers.
+type SketchBuilder struct {
+	b *core.SketchBuilder
+}
+
+// NewSketchBuilder returns an empty incremental sketch builder over the
+// network. opt.Model, opt.Seed and opt.Workers have their
+// NewInfluenceOracleWithOptions meaning; opt.RRSets is ignored — the builder
+// grows on demand.
+func (n *InfluenceNetwork) NewSketchBuilder(opt OracleOptions) (*SketchBuilder, error) {
+	if n == nil || n.ig == nil {
+		return nil, errNilNetwork
+	}
+	m, err := parseModel(opt.Model)
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewSketchBuilder(n.ig, m, opt.Workers, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SketchBuilder{b: b}, nil
+}
+
+// ResumeSketchBuilder reconstructs a builder from a checkpoint stream
+// previously written by SketchBuilder.Checkpoint. The checkpoint must have
+// been built over this same influence network; generation continues exactly
+// where it stopped.
+func (n *InfluenceNetwork) ResumeSketchBuilder(r io.Reader, workers int) (*SketchBuilder, error) {
+	if n == nil || n.ig == nil {
+		return nil, errNilNetwork
+	}
+	b, err := sketchio.ResumeBuilder(r, n.ig, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &SketchBuilder{b: b}, nil
+}
+
+// AppendBatch generates m more RR sets.
+func (b *SketchBuilder) AppendBatch(m int) error { return b.b.AppendBatch(m) }
+
+// NumRRSets returns the number of RR sets generated so far.
+func (b *SketchBuilder) NumRRSets() int { return b.b.NumSets() }
+
+// ErrorBound estimates the sketch's current relative error for seed sets of
+// size k at confidence 1-delta (the adaptive stopping quantity; +Inf while
+// the sketch is empty). Non-positive k and out-of-range delta select the
+// defaults (k=10, delta=0.01).
+func (b *SketchBuilder) ErrorBound(k int, delta float64) float64 {
+	return b.b.ErrorBound(k, delta)
+}
+
+// Checkpoint writes a snapshot of the build to w in the append-only v2
+// checkpoint format; ResumeSketchBuilder continues from it later. For an
+// on-disk checkpoint that grows batch by batch during a long build, see
+// BuildSketchWithCheckpoint.
+func (b *SketchBuilder) Checkpoint(w io.Writer) error {
+	return sketchio.WriteCheckpoint(w, b.b)
+}
+
+// Oracle finalizes the current sketch into a queryable influence oracle (a
+// snapshot: the builder can keep growing afterwards).
+func (b *SketchBuilder) Oracle() (*InfluenceOracle, error) {
+	o, err := b.b.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	return &InfluenceOracle{o: o}, nil
+}
+
+// BuildSummary reports how a target build ended.
+type BuildSummary struct {
+	// RRSets is the final sketch size.
+	RRSets int
+	// Bound is the final ErrorBound (+Inf when it was never computed, i.e. a
+	// fixed-size build).
+	Bound float64
+	// Converged reports whether the error target was met (false when the
+	// cap stopped the build first).
+	Converged bool
+}
+
+// BuildProgress is the per-round state handed to BuildOptions.Progress.
+type BuildProgress struct {
+	// RRSets is the current sketch size; Appended is how many sets the round
+	// just finished added.
+	RRSets   int
+	Appended int
+	// Bound is the current ErrorBound (+Inf until enough sets exist to
+	// estimate one, or for fixed-size builds).
+	Bound float64
+	// Fraction estimates overall completion in [0, 1].
+	Fraction float64
+}
+
+// BuildOptions configures SketchBuilder.Build and BuildSketchWithCheckpoint.
+type BuildOptions struct {
+	// TargetEps is the target relative error; <= 0 disables the accuracy
+	// stop and builds straight to MaxSets.
+	TargetEps float64
+	// Delta is the bound's failure probability (default 0.01) and K the
+	// seed-set size it targets (default 10).
+	Delta float64
+	K     int
+	// MaxSets caps the sketch size. Required.
+	MaxSets int
+	// Progress, when non-nil, observes every build round.
+	Progress func(BuildProgress)
+}
+
+func (opt BuildOptions) coreTarget() core.BuildTarget {
+	t := core.BuildTarget{
+		Eps:     opt.TargetEps,
+		Delta:   opt.Delta,
+		K:       opt.K,
+		MaxSets: opt.MaxSets,
+	}
+	if opt.Progress != nil {
+		t.Progress = func(p core.BuildProgress) error {
+			opt.Progress(BuildProgress{
+				RRSets:   p.Sets,
+				Appended: p.Appended,
+				Bound:    p.Bound,
+				Fraction: p.Fraction,
+			})
+			return nil
+		}
+	}
+	return t
+}
+
+func toSummary(res core.BuildResult) BuildSummary {
+	return BuildSummary{RRSets: res.Sets, Bound: res.Bound, Converged: res.Converged}
+}
+
+// Build grows the sketch in geometrically increasing rounds until the error
+// target or the cap is reached. Cancelling ctx stops it between rounds with
+// ctx's error; the builder stays valid (checkpoint it, or call Build again).
+func (b *SketchBuilder) Build(ctx context.Context, opt BuildOptions) (BuildSummary, error) {
+	res, err := b.b.BuildToTarget(ctx, opt.coreTarget())
+	return toSummary(res), err
+}
+
+// BuildToTarget grows the sketch until its ErrorBound (at the default k and
+// the given delta) reaches eps, or maxSets is hit. It is Build with the
+// common knobs inline.
+func (b *SketchBuilder) BuildToTarget(eps, delta float64, maxSets int) (BuildSummary, error) {
+	return b.Build(context.Background(), BuildOptions{TargetEps: eps, Delta: delta, MaxSets: maxSets})
+}
+
+// BuildSketchToTarget builds an influence oracle adaptively: RR sets are
+// generated until the relative-error estimate reaches eps (or maxSets caps
+// the build), instead of guessing the count up front as NewInfluenceOracle
+// does. It returns the finished oracle together with the build summary.
+func (n *InfluenceNetwork) BuildSketchToTarget(opt OracleOptions, eps, delta float64, maxSets int) (*InfluenceOracle, BuildSummary, error) {
+	b, err := n.NewSketchBuilder(opt)
+	if err != nil {
+		return nil, BuildSummary{}, err
+	}
+	sum, err := b.BuildToTarget(eps, delta, maxSets)
+	if err != nil {
+		return nil, sum, err
+	}
+	o, err := b.Oracle()
+	if err != nil {
+		return nil, sum, err
+	}
+	return o, sum, nil
+}
+
+// BuildSketchWithCheckpoint runs a checkpointed build end to end: it opens
+// (or resumes) the append-only checkpoint file at path, continues the build
+// from the RR sets already durable there, and appends each round's new sets
+// as a CRC-framed segment before reporting progress. Interrupt it at any
+// point — crash included — and the same call continues where the checkpoint
+// left off, ultimately producing a sketch byte-identical to the
+// uninterrupted build. The checkpoint file is left in place on success;
+// remove it once the final sketch is saved.
+func (n *InfluenceNetwork) BuildSketchWithCheckpoint(ctx context.Context, path string, opt OracleOptions, bopt BuildOptions) (*InfluenceOracle, BuildSummary, error) {
+	if n == nil || n.ig == nil {
+		return nil, BuildSummary{}, errNilNetwork
+	}
+	m, err := parseModel(opt.Model)
+	if err != nil {
+		return nil, BuildSummary{}, err
+	}
+	b, res, err := sketchio.BuildWithCheckpoint(ctx, path, n.ig, m, opt.Workers, opt.Seed, bopt.coreTarget())
+	if err != nil {
+		return nil, toSummary(res), err
+	}
+	o, err := b.Oracle()
+	if err != nil {
+		return nil, toSummary(res), err
+	}
+	return &InfluenceOracle{o: o}, toSummary(res), nil
+}
+
+// SketchFileInfo describes a sketch or checkpoint file section by section —
+// what imsketch -info prints. Every section's CRC-32C is verified against the
+// bytes on disk.
+type SketchFileInfo struct {
+	// Path, Size and Version identify the file (version 1 = sketch,
+	// 2 = build checkpoint).
+	Path    string
+	Size    int64
+	Version int
+	// Model, BuildSeed and Vertices are the recorded build identity;
+	// RRSets is the total across intact sections.
+	Model     DiffusionModel
+	BuildSeed uint64
+	Vertices  int
+	RRSets    int
+	// Sections lists the file's physical sections in order; Corrupt reports
+	// whether any failed its structure or checksum checks.
+	Sections []SketchSection
+	Corrupt  bool
+}
+
+// SketchSection is one verified section of a sketch file.
+type SketchSection struct {
+	Name   string
+	Offset int64
+	Size   int64
+	// RRSets is the number of RR-set records the section carries.
+	RRSets int
+	// CRC is the stored CRC-32C guarding the section (0 when it has none).
+	CRC uint32
+	// OK reports whether the section passed verification; Detail explains a
+	// failure.
+	OK     bool
+	Detail string
+}
+
+// InspectSketchFile verifies the sketch or checkpoint file at path section by
+// section (structure and CRC-32C) without loading it into an oracle. Damage
+// is reported per section in the result; only an unreadable or unclassifiable
+// file returns an error.
+func InspectSketchFile(path string) (*SketchFileInfo, error) {
+	fi, err := sketchio.Inspect(path)
+	if err != nil {
+		return nil, err
+	}
+	out := &SketchFileInfo{
+		Path:      fi.Path,
+		Size:      fi.Size,
+		Version:   fi.Version,
+		Model:     DiffusionModel(fi.Meta.Model.String()),
+		BuildSeed: fi.Meta.Seed,
+		Vertices:  fi.Meta.N,
+		RRSets:    fi.NumSets,
+		Corrupt:   fi.Corrupt,
+	}
+	out.Sections = make([]SketchSection, len(fi.Sections))
+	for i, s := range fi.Sections {
+		out.Sections[i] = SketchSection{
+			Name:   s.Name,
+			Offset: s.Offset,
+			Size:   s.Size,
+			RRSets: s.Sets,
+			CRC:    s.CRC,
+			OK:     s.OK,
+			Detail: s.Detail,
+		}
+	}
+	return out, nil
+}
 
 // StudyOptions configures a solution-distribution study (the paper's core
 // methodology): run one approach T times at a fixed sample number and look at

@@ -246,6 +246,14 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Contains reports whether a sketch is loaded under name.
+func (r *Registry) Contains(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
 // Len returns the number of loaded sketches.
 func (r *Registry) Len() int {
 	r.mu.RLock()

@@ -238,6 +238,51 @@ func TestAdminLoadUnload(t *testing.T) {
 	}
 }
 
+// TestAdminLoadStatusCodes pins the admin-load error contract: loading a
+// name already held is a 409 unless replace is set, and invalid names are
+// 400s before the filesystem is ever touched.
+func TestAdminLoadStatusCodes(t *testing.T) {
+	base := testOracle(t, diffusion.IC, 20000, 7)
+	extra := testOracle(t, diffusion.IC, 15000, 99)
+	path := sketchFile(t, extra)
+	s, err := New(Config{Oracle: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First load under a fresh name succeeds without replace.
+	if status, raw := postJSON(t, ts.URL+"/v1/admin/sketches",
+		fmt.Sprintf(`{"name":"dup","path":%q}`, path)); status != http.StatusOK {
+		t.Fatalf("first load: status = %d, body %s", status, raw)
+	}
+	// The same name again is a conflict...
+	if status, raw := postJSON(t, ts.URL+"/v1/admin/sketches",
+		fmt.Sprintf(`{"name":"dup","path":%q}`, path)); status != http.StatusConflict {
+		t.Errorf("duplicate load without replace: status = %d, body %s", status, raw)
+	}
+	// ...including against the default sketch registered at startup...
+	if status, raw := postJSON(t, ts.URL+"/v1/admin/sketches",
+		fmt.Sprintf(`{"name":%q,"path":%q}`, DefaultSketchName, path)); status != http.StatusConflict {
+		t.Errorf("duplicate load of default: status = %d, body %s", status, raw)
+	}
+	// ...and replace:true opts back into hot-swapping.
+	if status, raw := postJSON(t, ts.URL+"/v1/admin/sketches",
+		fmt.Sprintf(`{"name":"dup","path":%q,"replace":true}`, path)); status != http.StatusOK {
+		t.Errorf("replace load: status = %d, body %s", status, raw)
+	}
+
+	// Invalid names are 400s whether or not the path exists.
+	for _, name := range []string{"", "a/b", "a b", "..%2f", strings.Repeat("x", 129)} {
+		body, _ := json.Marshal(adminLoadRequest{Name: name, Path: path})
+		if status, raw := postJSON(t, ts.URL+"/v1/admin/sketches", string(body)); status != http.StatusBadRequest {
+			t.Errorf("invalid name %q: status = %d, body %s", name, status, raw)
+		}
+	}
+}
+
 // TestSeedsCacheKeyedBySketchIdentity is the regression test for the seeds
 // cache-key collision: the old key was "g:"+k with no sketch identity, so
 // with two sketches loaded (or one hot-reloaded) /v1/seeds served one
@@ -290,7 +335,7 @@ func TestSeedsCacheKeyedBySketchIdentity(t *testing.T) {
 	// Hot-reload "a" with b's contents under the same name; the cached
 	// answer for the old build must not survive the reload.
 	status, raw := postJSON(t, ts.URL+"/v1/admin/sketches",
-		fmt.Sprintf(`{"name":"a","path":%q}`, sketchFile(t, b)))
+		fmt.Sprintf(`{"name":"a","path":%q,"replace":true}`, sketchFile(t, b)))
 	if status != http.StatusOK {
 		t.Fatalf("reload: status = %d, body %s", status, raw)
 	}
@@ -423,7 +468,7 @@ func TestConcurrentMixedSketchesWithReload(t *testing.T) {
 			if i%2 == 1 {
 				name, path = "lt", ltPath
 			}
-			body := fmt.Sprintf(`{"name":%q,"path":%q}`, name, path)
+			body := fmt.Sprintf(`{"name":%q,"path":%q,"replace":true}`, name, path)
 			resp, err := client.Post(ts.URL+"/v1/admin/sketches", "application/json", strings.NewReader(body))
 			if err != nil {
 				t.Error(err)

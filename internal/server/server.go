@@ -43,6 +43,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"imdist/internal/core"
@@ -111,14 +112,26 @@ type Config struct {
 	// the write deadline after evaluation, so the configured budget applies
 	// to writing the response rather than being consumed by computation.
 	WriteTimeout time.Duration
+	// BuildConcurrency is how many async sketch builds (/v1/admin/builds)
+	// run at once (default DefaultBuildConcurrency).
+	BuildConcurrency int
+	// MaxQueuedBuilds bounds the async build queue (default
+	// DefaultMaxQueuedBuilds); full-queue submissions get 503.
+	MaxQueuedBuilds int
+	// MaxBuildSets caps max_sets per submitted build (default
+	// DefaultMaxBuildSets).
+	MaxBuildSets int
 }
 
 // Server answers oracle queries over HTTP.
 type Server struct {
 	registry *Registry
+	builds   *buildManager
 	cfg      Config
 	mux      *http.ServeMux
 	start    time.Time
+
+	closeOnce sync.Once
 }
 
 // New validates cfg, fills in defaults and returns a ready Server.
@@ -156,12 +169,22 @@ func New(cfg Config) (*Server, error) {
 	case cfg.WriteTimeout < 0:
 		cfg.WriteTimeout = 0
 	}
+	if cfg.BuildConcurrency < 1 {
+		cfg.BuildConcurrency = DefaultBuildConcurrency
+	}
+	if cfg.MaxQueuedBuilds < 1 {
+		cfg.MaxQueuedBuilds = DefaultMaxQueuedBuilds
+	}
+	if cfg.MaxBuildSets < 1 {
+		cfg.MaxBuildSets = DefaultMaxBuildSets
+	}
 	s := &Server{
 		registry: NewRegistry(cfg.CacheSize),
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 	}
+	s.builds = newBuildManager(s.registry, cfg.BuildConcurrency, cfg.MaxQueuedBuilds, cfg.MaxBuildSets)
 	if cfg.Oracle != nil {
 		name := cfg.DefaultSketch
 		if name == "" {
@@ -203,8 +226,22 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sketches", s.handleListSketches)
 	s.mux.HandleFunc("POST /v1/admin/sketches", s.handleAdminLoad)
 	s.mux.HandleFunc("DELETE /v1/admin/sketches/{sketch}", s.handleAdminUnload)
+	// Async build service: submit, observe and cancel server-side sketch
+	// builds whose results land in the registry.
+	s.mux.HandleFunc("POST /v1/admin/builds", s.handleBuildSubmit)
+	s.mux.HandleFunc("GET /v1/admin/builds", s.handleBuildList)
+	s.mux.HandleFunc("GET /v1/admin/builds/{build}", s.handleBuildGet)
+	s.mux.HandleFunc("DELETE /v1/admin/builds/{build}", s.handleBuildCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
+}
+
+// Close releases the server's background resources: it cancels every live
+// async build and stops the build runner pool. Loaded sketches are left to
+// the registry's owner. ListenAndServe calls it on shutdown; standalone
+// Handler users should call it themselves when done.
+func (s *Server) Close() {
+	s.closeOnce.Do(s.builds.shutdown)
 }
 
 // Registry returns the server's sketch registry, through which callers load,
@@ -231,6 +268,7 @@ func (s *Server) httpServer(addr string) *http.Server {
 // gracefully, draining in-flight requests for up to shutdownGrace.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	srv := s.httpServer(addr)
+	defer s.Close()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -652,12 +690,14 @@ func (s *Server) handleListSketches(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// adminLoadRequest asks the server to load (or hot-replace) the sketch file
-// at Path under Name; Default additionally points the legacy unnamed routes
-// at it.
+// adminLoadRequest asks the server to load the sketch file at Path under
+// Name; Replace permits overwriting a name already loaded (without it a
+// duplicate is a 409), and Default additionally points the legacy unnamed
+// routes at it.
 type adminLoadRequest struct {
 	Name    string `json:"name"`
 	Path    string `json:"path"`
+	Replace bool   `json:"replace"`
 	Default bool   `json:"default"`
 }
 
@@ -670,8 +710,15 @@ func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "path is required")
 		return
 	}
-	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, "name is required")
+	if err := validateSketchName(req.Name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Admin loads are rare and serialized by the operator in practice; the
+	// check-then-load pair is not atomic against a concurrent load of the
+	// same name, which at worst replaces where it would have 409'd.
+	if !req.Replace && s.registry.Contains(req.Name) {
+		writeError(w, http.StatusConflict, "sketch %q already loaded (set replace to overwrite)", req.Name)
 		return
 	}
 	if err := s.registry.LoadFile(req.Name, req.Path); err != nil {

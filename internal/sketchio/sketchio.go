@@ -96,21 +96,8 @@ func Encode(w io.Writer, o *core.Oracle) error {
 		return err
 	}
 
-	var scratch []byte
-	for i := 0; i < o.NumSets(); i++ {
-		set := o.RRSet(i)
-		need := 4 + 4*len(set)
-		if cap(scratch) < need {
-			scratch = make([]byte, need)
-		}
-		buf := scratch[:need]
-		binary.LittleEndian.PutUint32(buf, uint32(len(set)))
-		for j, v := range set {
-			binary.LittleEndian.PutUint32(buf[4+4*j:], uint32(v))
-		}
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
+	if err := writeRecords(bw, o.NumSets(), o.RRSet); err != nil {
+		return err
 	}
 	// The checksum covers header + payload; flush so crc has seen them all.
 	if err := bw.Flush(); err != nil {
@@ -120,6 +107,38 @@ func Encode(w io.Writer, o *core.Oracle) error {
 	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
 	_, err := w.Write(tail[:])
 	return err
+}
+
+// writeRecords writes count length-prefixed RR-set records, obtained from
+// get, to w. It is the payload encoder shared by the v1 sketch format and the
+// v2 checkpoint segments.
+func writeRecords(w io.Writer, count int, get func(int) []graph.VertexID) error {
+	var scratch []byte
+	for i := 0; i < count; i++ {
+		set := get(i)
+		need := 4 + 4*len(set)
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		binary.LittleEndian.PutUint32(buf, uint32(len(set)))
+		for j, v := range set {
+			binary.LittleEndian.PutUint32(buf[4+4*j:], uint32(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordsLen returns the encoded payload size of the given RR sets.
+func recordsLen(sets [][]graph.VertexID) uint64 {
+	var payload uint64
+	for _, set := range sets {
+		payload += 4 + 4*uint64(len(set))
+	}
+	return payload
 }
 
 // WriteFile atomically writes o's sketch to path: it encodes into a
@@ -214,7 +233,7 @@ func Decode(r io.Reader) (*core.Oracle, error) {
 		return nil, err
 	}
 
-	rrSets, err := readRecords(tee, h)
+	rrSets, err := readRecords(tee, h.n, h.numSets, h.payloadLen, true)
 	if err != nil {
 		return nil, err
 	}
@@ -231,12 +250,21 @@ func Decode(r io.Reader) (*core.Oracle, error) {
 	return core.NewOracleFromRRSets(h.n, h.model, h.seed, rrSets)
 }
 
-func readRecords(tee io.Reader, h header) ([][]graph.VertexID, error) {
-	rrSets := make([][]graph.VertexID, h.numSets)
-	remaining := h.payloadLen
+// readRecords decodes numSets length-prefixed RR-set records spanning exactly
+// payloadLen bytes of r, validating every vertex id against [0, n). It is the
+// payload decoder shared by the v1 sketch format and the v2 checkpoint
+// segments. With keep=false it validates and discards instead of
+// materializing the sets (returning nil) — Inspect verifies multi-GB files
+// in O(record) memory this way.
+func readRecords(tee io.Reader, n, numSets int, payloadLen uint64, keep bool) ([][]graph.VertexID, error) {
+	var rrSets [][]graph.VertexID
+	if keep {
+		rrSets = make([][]graph.VertexID, numSets)
+	}
+	remaining := payloadLen
 	var lenBuf [4]byte
 	var recBuf []byte
-	for i := 0; i < h.numSets; i++ {
+	for i := 0; i < numSets; i++ {
 		if remaining < 4 {
 			return nil, fmt.Errorf("%w: payload exhausted at RR set %d", ErrCorrupt, i)
 		}
@@ -247,8 +275,8 @@ func readRecords(tee io.Reader, h header) ([][]graph.VertexID, error) {
 		count := binary.LittleEndian.Uint32(lenBuf[:])
 		// An RR set holds distinct vertices, so its size cannot exceed n —
 		// this also bounds the buffer a hostile count can request.
-		if uint64(count) > uint64(h.n) {
-			return nil, fmt.Errorf("%w: RR set %d claims %d members on a %d-vertex graph", ErrCorrupt, i, count, h.n)
+		if uint64(count) > uint64(n) {
+			return nil, fmt.Errorf("%w: RR set %d claims %d members on a %d-vertex graph", ErrCorrupt, i, count, n)
 		}
 		need := 4 * uint64(count)
 		if need > remaining {
@@ -265,11 +293,19 @@ func readRecords(tee io.Reader, h header) ([][]graph.VertexID, error) {
 			return nil, readErr(err)
 		}
 		remaining -= need
+		if !keep {
+			for j := 0; j < int(count); j++ {
+				if v := binary.LittleEndian.Uint32(buf[4*j:]); uint64(v) >= uint64(n) {
+					return nil, fmt.Errorf("%w: RR set %d contains vertex %d outside [0, %d)", ErrCorrupt, i, v, n)
+				}
+			}
+			continue
+		}
 		set := make([]graph.VertexID, count)
 		for j := range set {
 			v := binary.LittleEndian.Uint32(buf[4*j:])
-			if uint64(v) >= uint64(h.n) {
-				return nil, fmt.Errorf("%w: RR set %d contains vertex %d outside [0, %d)", ErrCorrupt, i, v, h.n)
+			if uint64(v) >= uint64(n) {
+				return nil, fmt.Errorf("%w: RR set %d contains vertex %d outside [0, %d)", ErrCorrupt, i, v, n)
 			}
 			set[j] = graph.VertexID(v)
 		}
