@@ -158,3 +158,44 @@ func TestBuildSketchWithCheckpointFile(t *testing.T) {
 		t.Errorf("checkpoint inspect = %+v", fi)
 	}
 }
+
+// TestBuildSketchWithCheckpointSpill runs the same checkpointed build in
+// spill mode with a deliberately tiny memory budget and requires the result
+// to be byte-identical to the in-memory build — the public face of the
+// larger-than-RAM build pipeline.
+func TestBuildSketchWithCheckpointSpill(t *testing.T) {
+	ig := karateUC(t)
+	path := filepath.Join(t.TempDir(), "build.spill")
+	var spilled int64
+	oracle, sum, err := ig.BuildSketchWithCheckpoint(context.Background(), path, OracleOptions{Seed: 31, Workers: 2},
+		BuildOptions{
+			MaxSets:   3000,
+			Spill:     true,
+			MemBudget: 4 << 10,
+			Progress:  func(p BuildProgress) { spilled = p.SpillBytes },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.RRSets != 3000 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if spilled <= 0 {
+		t.Error("progress never reported spill bytes")
+	}
+	direct, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 3000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sketchBytes(t, oracle), sketchBytes(t, direct)) {
+		t.Error("spill build sketch differs from in-memory build")
+	}
+	// The spill file is a valid v2 checkpoint of the full build.
+	fi, err := InspectSketchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Corrupt || fi.RRSets != 3000 || fi.Version != 2 {
+		t.Errorf("spill file inspect = %+v", fi)
+	}
+}

@@ -10,6 +10,12 @@
 // and continue after a crash or restart (-resume); the finished sketch is
 // byte-identical to an uninterrupted build either way.
 //
+// Builds larger than RAM run with -spill: every batch streams to the
+// checkpoint file as it is generated and only a -mem-budget working set of
+// decoded RR sets stays in memory, so peak RSS is bounded by the budget plus
+// one in-flight batch rather than the full sketch. Spill output is
+// byte-identical to the in-memory build of the same seed.
+//
 // Usage:
 //
 //	imsketch -dataset Karate -prob uc0.1 -rr 200000 -seed 7 -out karate.sketch
@@ -17,6 +23,7 @@
 //	imsketch -dataset Karate -target-eps 0.05 -rr 5000000 -progress -out karate.sketch
 //	imsketch -graph big.txt -rr 100000000 -checkpoint big.ckpt -out big.sketch
 //	imsketch -graph big.txt -rr 100000000 -checkpoint big.ckpt -resume -out big.sketch
+//	imsketch -graph big.txt -rr 100000000 -spill -mem-budget 256MiB -out big.sketch
 //	imsketch -info karate.sketch
 //
 // The pipeline end to end:
@@ -33,6 +40,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"imdist"
@@ -66,6 +75,40 @@ type buildReport struct {
 	Resumed    int     `json:"resumed_from_sets,omitempty"`
 	WallMillis int64   `json:"wall_ms"`
 	Bytes      int64   `json:"sketch_bytes"`
+	// Spill builds additionally record the disk/memory split: the spill
+	// file's final size, the configured working-set budget, and the process
+	// peak RSS (0 where the platform cannot report it).
+	Spill          bool  `json:"spill,omitempty"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+	SpillBytes     int64 `json:"spill_bytes,omitempty"`
+	PeakRSSBytes   int64 `json:"peak_rss_bytes,omitempty"`
+}
+
+// parseByteSize parses a human byte count: a plain integer is bytes, and the
+// binary suffixes K/KB/KiB, M/MB/MiB, G/GB/GiB scale by 2^10/2^20/2^30. A
+// negative value means "unbounded" to -mem-budget.
+func parseByteSize(s string) (int64, error) {
+	num, mult := strings.TrimSpace(s), int64(1)
+	upper := strings.ToUpper(num)
+	for _, suf := range []struct {
+		name string
+		mul  int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mul
+			num = strings.TrimSpace(num[:len(num)-len(suf.name)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 1048576, 256KiB, 64M)", s)
+	}
+	return n * mult, nil
 }
 
 func run(args []string) error {
@@ -85,6 +128,8 @@ func run(args []string) error {
 		boundK     = fs.Int("k", 10, "seed-set size the -target-eps error bound targets")
 		checkpoint = fs.String("checkpoint", "", "append-only build checkpoint file, durably extended every batch")
 		resume     = fs.Bool("resume", false, "continue the build from an existing -checkpoint file")
+		spill      = fs.Bool("spill", false, "stream RR sets to the checkpoint file as they are built (default <out>.spill) and keep only -mem-budget bytes decoded in memory")
+		memBudget  = fs.String("mem-budget", "64MiB", "spill working-set budget, e.g. 256KiB or 1G (negative = unbounded; only with -spill)")
 		progress   = fs.Bool("progress", false, "log build rounds to stderr")
 		report     = fs.String("report", "", "write a JSON build report (sets, wall time, achieved bound) to this path")
 	)
@@ -96,6 +141,21 @@ func run(args []string) error {
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required (or use -info to inspect a sketch)")
+	}
+	var budget int64
+	if *spill {
+		var perr error
+		if budget, perr = parseByteSize(*memBudget); perr != nil {
+			return fmt.Errorf("-mem-budget: %w", perr)
+		}
+	}
+	// A spill build without an explicit checkpoint keeps its scratch file next
+	// to the sketch and removes it once the sketch is durable; an explicit
+	// -checkpoint is the user's file and stays.
+	autoSpill := false
+	if *spill && *checkpoint == "" {
+		*checkpoint = *out + ".spill"
+		autoSpill = true
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
@@ -141,17 +201,21 @@ func run(args []string) error {
 		Delta:     *delta,
 		K:         *boundK,
 		MaxSets:   *rr,
+		Spill:     *spill,
+		MemBudget: budget,
 	}
 	// The first progress report of a resumed build carries the durable set
 	// count with nothing appended yet; capture it for the report instead of
 	// paying a separate decode pass over the checkpoint.
 	resumedFrom := 0
 	sawFirst := false
+	var spillBytes int64
 	bopt.Progress = func(p imdist.BuildProgress) {
 		if !sawFirst {
 			resumedFrom = p.RRSets - p.Appended
 			sawFirst = true
 		}
+		spillBytes = p.SpillBytes
 		if !*progress {
 			return
 		}
@@ -191,6 +255,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if autoSpill {
+		// The sketch is durable; the scratch spill file has served its
+		// purpose. (The oracle stays readable: its working set is in memory
+		// and unix unlink keeps the mapped file alive until close.)
+		os.Remove(*checkpoint)
+	}
+	if *spill {
+		fmt.Printf("spill build: %d bytes streamed to disk, working-set budget %s, peak RSS %d MiB\n",
+			spillBytes, *memBudget, peakRSS()>>20)
+	}
 	fmt.Printf("sketch: n=%d rr_sets=%d model=%s seed=%d (99%% CI +/- %.3f)\n",
 		oracle.NumVertices(), oracle.NumRRSets(), oracle.Model(), oracle.BuildSeed(),
 		oracle.ConfidenceHalfWidth99())
@@ -220,6 +294,12 @@ func run(args []string) error {
 			Resumed:    resumedFrom,
 			WallMillis: wall.Milliseconds(),
 			Bytes:      fi.Size(),
+		}
+		if *spill {
+			r.Spill = true
+			r.MemBudgetBytes = budget
+			r.SpillBytes = spillBytes
+			r.PeakRSSBytes = peakRSS()
 		}
 		if *targetEps > 0 {
 			r.Delta = *delta

@@ -174,6 +174,95 @@ func TestCheckpointResumeBuildsIdenticalSketch(t *testing.T) {
 	}
 }
 
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"1048576", 1 << 20, true},
+		{"256KiB", 256 << 10, true},
+		{"64MiB", 64 << 20, true},
+		{"64M", 64 << 20, true},
+		{"2g", 2 << 30, true},
+		{" 1 GB ", 1 << 30, true},
+		{"-1", -1, true},
+		{"", 0, false},
+		{"MiB", 0, false},
+		{"12XB", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseByteSize(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseByteSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseByteSize(%q) accepted", tc.in)
+		}
+	}
+}
+
+// TestSpillBuildMatchesStraight runs the same fixed-size build straight and
+// with -spill under a tiny budget: the sketches must be byte-identical, the
+// report must record the spill footprint, and the scratch spill file must be
+// gone once the sketch is written.
+func TestSpillBuildMatchesStraight(t *testing.T) {
+	dir := t.TempDir()
+	straight := filepath.Join(dir, "straight.sketch")
+	common := []string{"-dataset", "Karate", "-prob", "iwc", "-seed", "9", "-workers", "2", "-rr", "6000"}
+	if err := run(append(common, "-out", straight)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spilled := filepath.Join(dir, "spilled.sketch")
+	report := filepath.Join(dir, "spill.json")
+	if err := run(append(common, "-out", spilled, "-spill", "-mem-budget", "4KiB", "-report", report)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(spilled); !bytes.Equal(got, want) {
+		t.Error("spill build differs from straight build")
+	}
+	if _, err := os.Stat(spilled + ".spill"); !os.IsNotExist(err) {
+		t.Errorf("auto spill file not cleaned up: stat err = %v", err)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep buildReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Spill || rep.MemBudgetBytes != 4<<10 || rep.SpillBytes <= 0 {
+		t.Errorf("report spill fields = %+v", rep)
+	}
+	if rep.Sets != 6000 {
+		t.Errorf("report sets = %d, want 6000", rep.Sets)
+	}
+
+	// An explicit -checkpoint is the user's file: it survives the build and
+	// verifies as a full checkpoint of every set.
+	kept := filepath.Join(dir, "kept.spill")
+	keptOut := filepath.Join(dir, "kept.sketch")
+	if err := run(append(common, "-out", keptOut, "-spill", "-checkpoint", kept)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(keptOut); !bytes.Equal(got, want) {
+		t.Error("spill build with explicit checkpoint differs from straight build")
+	}
+	if err := run([]string{"-info", kept}); err != nil {
+		t.Errorf("-info on kept spill file: %v", err)
+	}
+	// Bad budgets are rejected up front.
+	if err := run(append(common, "-out", spilled, "-spill", "-mem-budget", "lots")); err == nil {
+		t.Error("bad -mem-budget accepted")
+	}
+}
+
 // TestInfoDetectsCorruption flips one payload byte of a valid sketch and
 // requires -info to verify section CRCs and fail loudly.
 func TestInfoDetectsCorruption(t *testing.T) {

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package main
+
+// peakRSS is unavailable off Linux; reports omit the field.
+func peakRSS() int64 { return 0 }

@@ -633,6 +633,9 @@ type BuildProgress struct {
 	Bound float64
 	// Fraction estimates overall completion in [0, 1].
 	Fraction float64
+	// SpillBytes is the build's durable on-disk footprint — the spill file's
+	// size for spill builds, 0 for in-memory builds.
+	SpillBytes int64
 }
 
 // BuildOptions configures SketchBuilder.Build and BuildSketchWithCheckpoint.
@@ -648,6 +651,16 @@ type BuildOptions struct {
 	MaxSets int
 	// Progress, when non-nil, observes every build round.
 	Progress func(BuildProgress)
+	// Spill makes BuildSketchWithCheckpoint stream every generated batch to
+	// the checkpoint file as it is produced and keep only a bounded working
+	// set of decoded RR sets in memory, so sketches far larger than RAM build
+	// within a fixed budget. The on-disk bytes are the ordinary v2 checkpoint
+	// format, so interruption and resume work exactly as without Spill — and
+	// the finished sketch is byte-identical to an in-memory build.
+	Spill bool
+	// MemBudget bounds the spill working set in bytes: 0 selects the default
+	// (64 MiB), negative means unbounded. Ignored unless Spill is set.
+	MemBudget int64
 }
 
 func (opt BuildOptions) coreTarget() core.BuildTarget {
@@ -660,10 +673,11 @@ func (opt BuildOptions) coreTarget() core.BuildTarget {
 	if opt.Progress != nil {
 		t.Progress = func(p core.BuildProgress) error {
 			opt.Progress(BuildProgress{
-				RRSets:   p.Sets,
-				Appended: p.Appended,
-				Bound:    p.Bound,
-				Fraction: p.Fraction,
+				RRSets:     p.Sets,
+				Appended:   p.Appended,
+				Bound:      p.Bound,
+				Fraction:   p.Fraction,
+				SpillBytes: p.SpillBytes,
 			})
 			return nil
 		}
@@ -718,6 +732,14 @@ func (n *InfluenceNetwork) BuildSketchToTarget(opt OracleOptions, eps, delta flo
 // left off, ultimately producing a sketch byte-identical to the
 // uninterrupted build. The checkpoint file is left in place on success;
 // remove it once the final sketch is saved.
+//
+// With bopt.Spill set the checkpoint file is also the build's primary
+// storage: batches stream to it as they are generated and only a working set
+// bounded by bopt.MemBudget stays decoded on the heap, so the build's memory
+// use is independent of the sketch's size. The returned oracle then serves
+// reads through the open spill file, which stays open for the life of the
+// process; save the sketch (SaveSketchFile) and delete the spill file once
+// done.
 func (n *InfluenceNetwork) BuildSketchWithCheckpoint(ctx context.Context, path string, opt OracleOptions, bopt BuildOptions) (*InfluenceOracle, BuildSummary, error) {
 	if n == nil || n.ig == nil {
 		return nil, BuildSummary{}, errNilNetwork
@@ -725,6 +747,21 @@ func (n *InfluenceNetwork) BuildSketchWithCheckpoint(ctx context.Context, path s
 	m, err := parseModel(opt.Model)
 	if err != nil {
 		return nil, BuildSummary{}, err
+	}
+	if bopt.Spill {
+		b, store, res, err := sketchio.BuildSpill(ctx, path, n.ig, m, opt.Workers, opt.Seed, bopt.MemBudget, bopt.coreTarget())
+		if err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return nil, toSummary(res), err
+		}
+		o, err := b.Oracle()
+		if err != nil {
+			store.Close()
+			return nil, toSummary(res), err
+		}
+		return &InfluenceOracle{o: o}, toSummary(res), nil
 	}
 	b, res, err := sketchio.BuildWithCheckpoint(ctx, path, n.ig, m, opt.Workers, opt.Seed, bopt.coreTarget())
 	if err != nil {

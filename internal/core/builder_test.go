@@ -20,6 +20,25 @@ func mustBuilder(t testing.TB, ig *graph.InfluenceGraph, workers int, seed uint6
 	return b
 }
 
+// builderSets snapshots every RR set of b through the store-backed accessor.
+func builderSets(t testing.TB, b *SketchBuilder) [][]graph.VertexID {
+	t.Helper()
+	sets, err := b.SetsRange(0, b.NumSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sets
+}
+
+// oracleSets snapshots every RR set of o.
+func oracleSets(o *Oracle) [][]graph.VertexID {
+	sets := make([][]graph.VertexID, o.NumSets())
+	for i := range sets {
+		sets[i] = o.RRSet(i)
+	}
+	return sets
+}
+
 // TestBuilderMatchesOneShot is the determinism core of the incremental
 // builder: growing a sketch in any batch schedule, at any worker count, must
 // produce exactly the RR sets of the one-shot parallel build with the same
@@ -48,7 +67,7 @@ func TestBuilderMatchesOneShot(t *testing.T) {
 			if b.NumSets() != total {
 				t.Fatalf("workers=%d schedule=%v: %d sets, want %d", workers, schedule, b.NumSets(), total)
 			}
-			if !reflect.DeepEqual(b.Sets(), want.rrSets) {
+			if !reflect.DeepEqual(builderSets(t, b), oracleSets(want)) {
 				t.Errorf("workers=%d schedule=%v: RR sets differ from one-shot build", workers, schedule)
 			}
 			o, err := b.Oracle()
@@ -81,8 +100,7 @@ func TestBuilderResumeMatchesUninterrupted(t *testing.T) {
 	}
 	// Simulate a checkpoint: copy the sets out, resume a fresh builder from
 	// them (different worker count on purpose), and finish the build.
-	saved := make([][]graph.VertexID, first.NumSets())
-	copy(saved, first.Sets())
+	saved := builderSets(t, first)
 	resumed, err := ResumeSketchBuilder(ig, diffusion.IC, 4, seed, saved)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +111,7 @@ func TestBuilderResumeMatchesUninterrupted(t *testing.T) {
 	if err := resumed.AppendBatch(1250); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(resumed.Sets(), straight.Sets()) {
+	if !reflect.DeepEqual(builderSets(t, resumed), builderSets(t, straight)) {
 		t.Error("resumed build differs from uninterrupted build")
 	}
 }
@@ -218,7 +236,7 @@ func TestBuildToTargetFixedSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(b.Sets(), want.rrSets) {
+	if !reflect.DeepEqual(builderSets(t, b), oracleSets(want)) {
 		t.Error("fixed-size target build differs from one-shot build")
 	}
 }

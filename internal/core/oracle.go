@@ -40,8 +40,13 @@ type Oracle struct {
 	seed  uint64
 	// memberOf[v] lists the RR set indices containing vertex v.
 	memberOf [][]int32
-	// rrSets[i] lists the vertices of RR set i (used for greedy coverage).
-	rrSets [][]graph.VertexID
+	// store holds the RR sets themselves (used for greedy coverage and
+	// serialization). The oracle snapshots numSets at construction; the store
+	// may keep growing underneath (SketchBuilder appends), but indices below
+	// numSets are immutable, so the snapshot stays coherent. payloadBytes is
+	// the snapshot's exact encoded record size.
+	store        RRStore
+	payloadBytes int64
 
 	// influencePool holds *influenceScratch, greedyPool holds *greedyScratch.
 	influencePool sync.Pool
@@ -98,12 +103,7 @@ func NewOracleParallel(ig *graph.InfluenceGraph, model diffusion.Model, numSets,
 			return nil, err
 		}
 	}
-	o := &Oracle{
-		n:       ig.NumVertices(),
-		numSets: numSets,
-		model:   model,
-		rrSets:  make([][]graph.VertexID, numSets),
-	}
+	rrSets := make([][]graph.VertexID, numSets)
 	// Per-sample derived streams (target and edge coins share one), as in
 	// the RIS Build: the oracle is independent of the worker count — serial
 	// included — and of scheduling.
@@ -115,10 +115,9 @@ func NewOracleParallel(ig *graph.InfluenceGraph, model diffusion.Model, numSets,
 	}
 	parallel.For(w, numSets, func(worker, i int) {
 		s := split.Stream(uint64(i))
-		o.rrSets[i] = samplers[worker].Sample(s, s, nil)
+		rrSets[i] = samplers[worker].Sample(s, s, nil)
 	})
-	o.buildMemberIndex()
-	return o, nil
+	return NewOracleFromStore(ig.NumVertices(), model, 0, NewMemStore(rrSets))
 }
 
 // NewOracleParallelSeeded is NewOracleParallel driven by an explicit master
@@ -138,39 +137,58 @@ func NewOracleParallelSeeded(ig *graph.InfluenceGraph, model diffusion.Model, nu
 // id against [0, n) so that a corrupted or hostile sketch cannot induce
 // out-of-bounds indexing, and takes ownership of rrSets.
 func NewOracleFromRRSets(n int, model diffusion.Model, seed uint64, rrSets [][]graph.VertexID) (*Oracle, error) {
+	return NewOracleFromStore(n, model, seed, NewMemStore(rrSets))
+}
+
+// NewOracleFromStore finalizes the RR sets held by store into a queryable
+// oracle: the member index is built by streaming over the store in one pass,
+// so a disk-backed store never has to materialize every set on the heap at
+// once. The oracle snapshots the store's current size; appending to the store
+// afterwards (a SketchBuilder growing past an ErrorBound check) does not
+// disturb it. Every vertex id is validated against [0, n) during the
+// streaming pass — stores may be rehydrated from untrusted files — and the
+// oracle reads through the store for as long as it lives, so the store must
+// not be closed before the oracle is done.
+func NewOracleFromStore(n int, model diffusion.Model, seed uint64, store RRStore) (*Oracle, error) {
 	if n < 1 {
 		return nil, ErrEmptyGraph
 	}
-	if len(rrSets) < 1 {
-		return nil, fmt.Errorf("core: oracle needs at least one RR set, got %d", len(rrSets))
-	}
-	for i, set := range rrSets {
-		for _, v := range set {
-			if v < 0 || int(v) >= n {
-				return nil, fmt.Errorf("core: RR set %d contains vertex %d outside [0, %d)", i, v, n)
-			}
-		}
+	numSets := store.NumSets()
+	if numSets < 1 {
+		return nil, fmt.Errorf("core: oracle needs at least one RR set, got %d", numSets)
 	}
 	o := &Oracle{
 		n:       n,
-		numSets: len(rrSets),
+		numSets: numSets,
 		model:   model,
 		seed:    seed,
-		rrSets:  rrSets,
+		store:   store,
 	}
-	o.buildMemberIndex()
+	if err := o.buildMemberIndex(); err != nil {
+		return nil, err
+	}
 	return o, nil
 }
 
-// buildMemberIndex derives memberOf from rrSets. Membership lists are built
-// in RR-set order, so two oracles with identical rrSets answer every query
-// identically regardless of how they were constructed.
-func (o *Oracle) buildMemberIndex() {
+// buildMemberIndex derives memberOf by streaming the store twice: a counting
+// pass (which also validates every vertex id) sizes the lists exactly, then a
+// fill pass populates them. Membership lists are built in RR-set order, so two
+// oracles over identical RR sets answer every query identically regardless of
+// how — or from which store — they were constructed.
+func (o *Oracle) buildMemberIndex() error {
 	counts := make([]int32, o.n)
-	for _, set := range o.rrSets {
+	err := o.store.ForEach(0, o.numSets, func(i int, set []graph.VertexID) error {
 		for _, v := range set {
+			if v < 0 || int(v) >= o.n {
+				return fmt.Errorf("core: RR set %d contains vertex %d outside [0, %d)", i, v, o.n)
+			}
 			counts[v]++
 		}
+		o.payloadBytes += 4 + 4*int64(len(set))
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	o.memberOf = make([][]int32, o.n)
 	for v := range o.memberOf {
@@ -178,11 +196,12 @@ func (o *Oracle) buildMemberIndex() {
 			o.memberOf[v] = make([]int32, 0, counts[v])
 		}
 	}
-	for i, set := range o.rrSets {
+	return o.store.ForEach(0, o.numSets, func(i int, set []graph.VertexID) error {
 		for _, v := range set {
 			o.memberOf[v] = append(o.memberOf[v], int32(i))
 		}
-	}
+		return nil
+	})
 }
 
 // NumSets returns the number of RR sets backing the oracle.
@@ -199,8 +218,19 @@ func (o *Oracle) Model() diffusion.Model { return o.model }
 func (o *Oracle) BuildSeed() uint64 { return o.seed }
 
 // RRSet returns the vertices of RR set i. The returned slice is owned by the
-// oracle and must not be modified.
-func (o *Oracle) RRSet(i int) []graph.VertexID { return o.rrSets[i] }
+// oracle's store and must not be modified; a spill-backed oracle may decode
+// it on demand, so prefer ascending-index access for sequential scans.
+func (o *Oracle) RRSet(i int) []graph.VertexID { return o.store.Set(i) }
+
+// PayloadBytes returns the exact encoded size in bytes of the oracle's RR
+// sets in the shared record format (4-byte count plus 4 bytes per vertex,
+// per set) — what serialization needs to size a sketch header without an
+// extra pass over a disk-backed store. It covers exactly the oracle's
+// snapshot, even when the shared store has grown past it since.
+func (o *Oracle) PayloadBytes() int64 { return o.payloadBytes }
+
+// Store returns the RR-set store backing the oracle (read-only use).
+func (o *Oracle) Store() RRStore { return o.store }
 
 // ValidateSeeds reports whether every seed lies in [0, n).
 func (o *Oracle) ValidateSeeds(seeds []graph.VertexID) error {
@@ -335,7 +365,7 @@ func (o *Oracle) GreedySeeds(k int) []graph.VertexID {
 				continue
 			}
 			covered[idx] = true
-			for _, u := range o.rrSets[idx] {
+			for _, u := range o.store.Set(int(idx)) {
 				coverCount[u]--
 			}
 		}

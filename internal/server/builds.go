@@ -85,6 +85,14 @@ type buildRequest struct {
 	// rename) and serves it memory-mapped from there; empty serves it from
 	// the heap.
 	Out string `json:"out,omitempty"`
+	// Spill streams every generated batch to a spill file next to Out
+	// (<out>.spill) instead of holding all RR sets on the heap, bounding the
+	// build's memory by MemBudgetBytes. Requires Out. The finished sketch is
+	// byte-identical to an in-memory build; the spill file is removed after
+	// the sketch is written.
+	Spill bool `json:"spill,omitempty"`
+	// MemBudgetBytes bounds the spill working set (0 = the 64 MiB default).
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 	// Replace permits overwriting a sketch already loaded under Name;
 	// without it a duplicate name is rejected up front with 409.
 	Replace bool `json:"replace,omitempty"`
@@ -103,14 +111,15 @@ type buildJob struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	state    BuildState
-	started  time.Time
-	finished time.Time
-	sets     int
-	bound    float64
-	fraction float64
-	errMsg   string
+	mu         sync.Mutex
+	state      BuildState
+	started    time.Time
+	finished   time.Time
+	sets       int
+	bound      float64
+	fraction   float64
+	spillBytes int64
+	errMsg     string
 }
 
 // buildStatus is the JSON view of a job (POST response and GET bodies).
@@ -125,7 +134,9 @@ type buildStatus struct {
 	Bound float64 `json:"bound,omitempty"`
 	// Progress estimates completion in [0, 1].
 	Progress float64 `json:"progress"`
-	Error    string  `json:"error,omitempty"`
+	// SpillBytes is the spill file's current size (spill builds only).
+	SpillBytes int64  `json:"spill_bytes,omitempty"`
+	Error      string `json:"error,omitempty"`
 	// CreatedSecondsAgo / RunSeconds situate the job in time without leaking
 	// absolute clocks.
 	CreatedSecondsAgo float64 `json:"created_seconds_ago"`
@@ -143,6 +154,7 @@ func (j *buildJob) status() buildStatus {
 		MaxSets:           j.req.MaxSets,
 		TargetEps:         j.req.TargetEps,
 		Progress:          j.fraction,
+		SpillBytes:        j.spillBytes,
 		Error:             j.errMsg,
 		CreatedSecondsAgo: time.Since(j.created).Seconds(),
 	}
@@ -247,6 +259,12 @@ func (m *buildManager) validate(req *buildRequest) (msg string, status int) {
 	}
 	if req.TargetEps < 0 || req.Delta < 0 || req.Delta >= 1 {
 		return "target_eps must be >= 0 and delta in [0, 1)", http.StatusBadRequest
+	}
+	if req.MemBudgetBytes < 0 {
+		return "mem_budget_bytes must be >= 0", http.StatusBadRequest
+	}
+	if req.Spill && req.Out == "" {
+		return "spill requires out (the spill file lives next to the sketch)", http.StatusBadRequest
 	}
 	if req.Workers == 0 {
 		req.Workers = -1
@@ -413,11 +431,7 @@ func (m *buildManager) executeBuild(ctx context.Context, job *buildJob) error {
 	if err != nil {
 		return err
 	}
-	builder, err := core.NewSketchBuilder(ig, model, req.Workers, req.Seed)
-	if err != nil {
-		return err
-	}
-	_, err = builder.BuildToTarget(ctx, core.BuildTarget{
+	target := core.BuildTarget{
 		Eps:     req.TargetEps,
 		Delta:   req.Delta,
 		K:       req.K,
@@ -427,12 +441,41 @@ func (m *buildManager) executeBuild(ctx context.Context, job *buildJob) error {
 			job.sets = p.Sets
 			job.bound = p.Bound
 			job.fraction = p.Fraction
+			job.spillBytes = p.SpillBytes
 			job.mu.Unlock()
 			return nil
 		},
-	})
-	if err != nil {
-		return err
+	}
+	var builder *core.SketchBuilder
+	if req.Spill {
+		// The spill file lives next to the final sketch and is the build's
+		// primary storage; a previous run's file is not resumed (a submitted
+		// job is a fresh build), so clear it first.
+		spillPath := req.Out + ".spill"
+		if err := os.Remove(spillPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		b, store, _, err := sketchio.BuildSpill(ctx, spillPath, ig, model, req.Workers, req.Seed, req.MemBudgetBytes, target)
+		if store != nil {
+			// The oracle below reads through the store, so it closes only
+			// after the sketch file is written; then the spill file goes too.
+			defer func() {
+				store.Close()
+				os.Remove(spillPath)
+			}()
+		}
+		if err != nil {
+			return err
+		}
+		builder = b
+	} else {
+		builder, err = core.NewSketchBuilder(ig, model, req.Workers, req.Seed)
+		if err != nil {
+			return err
+		}
+		if _, err := builder.BuildToTarget(ctx, target); err != nil {
+			return err
+		}
 	}
 	oracle, err := builder.Oracle()
 	if err != nil {

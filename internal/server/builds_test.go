@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -147,6 +148,72 @@ func TestAsyncAdaptiveBuildWithOut(t *testing.T) {
 	}
 }
 
+// TestAsyncSpillBuildServesSketch runs the disk-backed build path end to end:
+// a spill build under a deliberately tiny memory budget must produce a sketch
+// byte-identical to the in-memory build of the same parameters, serve it from
+// the registry, surface spill_bytes while running, and clean up the spill
+// file once the sketch is written.
+func TestAsyncSpillBuildServesSketch(t *testing.T) {
+	_, ts := newBuildTestServer(t, Config{})
+	dir := t.TempDir()
+	memOut := filepath.Join(dir, "karate-mem.sketch")
+	spillOut := filepath.Join(dir, "karate-spill.sketch")
+
+	submit := func(body string) buildStatus {
+		t.Helper()
+		status, raw := postJSON(t, ts.URL+"/v1/admin/builds", body)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit: status = %d, body %s", status, raw)
+		}
+		var st buildStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		final := awaitBuild(t, ts.URL, st.ID)
+		if final.State != BuildSucceeded {
+			t.Fatalf("build finished %s: %s", final.State, final.Error)
+		}
+		return final
+	}
+
+	submit(fmt.Sprintf(
+		`{"name":"mem","dataset":"Karate","seed":11,"max_sets":5000,"workers":2,"out":%q}`, memOut))
+	final := submit(fmt.Sprintf(
+		`{"name":"spill","dataset":"Karate","seed":11,"max_sets":5000,"workers":2,"out":%q,"spill":true,"mem_budget_bytes":4096}`, spillOut))
+
+	if final.SpillBytes <= 0 {
+		t.Errorf("final status spill_bytes = %d, want > 0", final.SpillBytes)
+	}
+	// Byte-identity across storage backends is the whole contract.
+	memBytes, err := os.ReadFile(memOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillBytes, err := os.ReadFile(spillOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memBytes, spillBytes) {
+		t.Error("spill-built sketch differs from in-memory build")
+	}
+	// The spill scratch file is gone once the sketch is durable.
+	if _, err := os.Stat(spillOut + ".spill"); !os.IsNotExist(err) {
+		t.Errorf("spill file still present after build: stat err = %v", err)
+	}
+	// And the sketch serves queries like any other.
+	status, raw := postJSON(t, ts.URL+"/v1/sketches/spill/influence", `{"seeds":[0,33]}`)
+	if status != http.StatusOK {
+		t.Fatalf("influence after spill build: status = %d, body %s", status, raw)
+	}
+	var got influenceResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Influence <= 0 {
+		t.Errorf("influence = %v, want > 0", got.Influence)
+	}
+}
+
 func TestBuildSubmitValidation(t *testing.T) {
 	_, ts := newBuildTestServer(t, Config{})
 	cases := []struct {
@@ -161,6 +228,8 @@ func TestBuildSubmitValidation(t *testing.T) {
 		{"bad prob", `{"name":"x","dataset":"Karate","prob":"nope","max_sets":100}`, http.StatusBadRequest},
 		{"bad model", `{"name":"x","dataset":"Karate","model":"SIR","max_sets":100}`, http.StatusBadRequest},
 		{"bad delta", `{"name":"x","dataset":"Karate","max_sets":100,"delta":1.5}`, http.StatusBadRequest},
+		{"spill without out", `{"name":"x","dataset":"Karate","max_sets":100,"spill":true}`, http.StatusBadRequest},
+		{"negative mem budget", `{"name":"x","dataset":"Karate","max_sets":100,"mem_budget_bytes":-1}`, http.StatusBadRequest},
 		{"unknown dataset is accepted at submit, fails async", `{"name":"x","dataset":"NoSuch","max_sets":100}`, http.StatusAccepted},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,36 @@
+package sketchio
+
+import "imdist/internal/graph"
+
+// arenaChunkVertices is the allocation granularity of a vertexArena: chunks of
+// 2^20 vertices (4 MiB) amortize allocator pressure without holding much more
+// memory than the sets actually decoded.
+const arenaChunkVertices = 1 << 20
+
+// vertexArena carves RR-set backing storage out of large chunks instead of
+// one allocation per set. Decoding a checkpoint with millions of small sets
+// through an arena does one large allocation per ~4 MiB of payload rather
+// than one per record, and the chunks are never reallocated, so every slice
+// handed out stays valid for the arena's lifetime. Growth is demand-driven —
+// a chunk is only allocated once earlier decoding succeeded — which keeps a
+// hostile length field from requesting huge buffers up front.
+type vertexArena struct {
+	chunk []graph.VertexID
+}
+
+// alloc returns a zeroed slice of n vertices carved from the arena.
+func (a *vertexArena) alloc(n int) []graph.VertexID {
+	if n == 0 {
+		return nil
+	}
+	if len(a.chunk) < n {
+		size := arenaChunkVertices
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]graph.VertexID, size)
+	}
+	out := a.chunk[:n:n]
+	a.chunk = a.chunk[n:]
+	return out
+}

@@ -115,6 +115,13 @@ func checkpointMetaFor(ig *graph.InfluenceGraph, model diffusion.Model, seed uin
 	return CheckpointMeta{Model: model, Seed: seed, N: ig.NumVertices(), GraphHash: GraphFingerprint(ig)}
 }
 
+// BuildCheckpointMeta derives the checkpoint identity of a build over ig with
+// the given model and seed — the metadata OpenSpillStore and OpenCheckpoint
+// verify a resumed file against.
+func BuildCheckpointMeta(ig *graph.InfluenceGraph, model diffusion.Model, seed uint64) CheckpointMeta {
+	return checkpointMetaFor(ig, model, seed)
+}
+
 func (m CheckpointMeta) validate() error {
 	if m.N < 1 || m.N > math.MaxInt32 {
 		return fmt.Errorf("sketchio: checkpoint vertex count %d outside [1, 2^31)", m.N)
@@ -202,9 +209,10 @@ func parseSegmentHeader(hdr []byte, totalSoFar int) (segmentMeta, error) {
 // bytes where a segment would start); every other failure — including a
 // partially written segment — is an error wrapping ErrCorrupt. count is the
 // segment's RR-set count, size its total encoded size, stored the verified
-// CRC-32C. With keep=false the records are validated but not materialized
-// (sets is nil) — the Inspect path.
-func readSegment(br *bufio.Reader, n, totalSoFar int, keep bool) (sets [][]graph.VertexID, count int, size int64, stored uint32, err error) {
+// CRC-32C. The sets' backing storage comes from arena; with a nil arena the
+// records are validated but not materialized (sets is nil) — the Inspect and
+// spill-store-recovery paths.
+func readSegment(br *bufio.Reader, n, totalSoFar int, arena *vertexArena) (sets [][]graph.VertexID, count int, size int64, stored uint32, err error) {
 	hdr := make([]byte, segHeaderLen)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -218,7 +226,7 @@ func readSegment(br *bufio.Reader, n, totalSoFar int, keep bool) (sets [][]graph
 	}
 	crc := crc32.New(castagnoliTab)
 	crc.Write(hdr)
-	sets, err = readRecords(io.TeeReader(br, crc), n, s.count, s.payloadLen, keep)
+	sets, err = readRecords(io.TeeReader(br, crc), n, s.count, s.payloadLen, arena)
 	if err != nil {
 		return nil, 0, 0, 0, err
 	}
@@ -235,16 +243,24 @@ func readSegment(br *bufio.Reader, n, totalSoFar int, keep bool) (sets [][]graph
 
 // writeSegment appends one CRC-framed segment holding sets to w.
 func writeSegment(w io.Writer, sets [][]graph.VertexID) error {
+	return writeSegmentFunc(w, len(sets), recordsLen(sets), func(i int) []graph.VertexID { return sets[i] })
+}
+
+// writeSegmentFunc appends one CRC-framed segment of count records, obtained
+// from get, to w. payload must be the exact encoded size of the records —
+// callers that track it incrementally (the builder's store stats) avoid a
+// sizing pass over data that may live on disk.
+func writeSegmentFunc(w io.Writer, count int, payload uint64, get func(int) []graph.VertexID) error {
 	hdr := make([]byte, segHeaderLen)
 	copy(hdr, segMagic)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(sets)))
-	binary.LittleEndian.PutUint64(hdr[16:], recordsLen(sets))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(count))
+	binary.LittleEndian.PutUint64(hdr[16:], payload)
 	crc := crc32.New(castagnoliTab)
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
 	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
-	if err := writeRecords(bw, len(sets), func(i int) []graph.VertexID { return sets[i] }); err != nil {
+	if err := writeRecords(bw, count, get); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -267,14 +283,19 @@ func WriteCheckpoint(w io.Writer, b *core.SketchBuilder) error {
 	if _, err := w.Write(encodeCheckpointHeader(meta)); err != nil {
 		return err
 	}
-	if b.NumSets() == 0 {
+	count := b.NumSets()
+	if count == 0 {
 		return nil
 	}
-	return writeSegment(w, b.Sets())
+	// Stream straight out of the builder's store — no [][]VertexID snapshot,
+	// so a disk-backed build checkpoints without materializing its sets.
+	return writeSegmentFunc(w, count, uint64(b.StoreStats().PayloadBytes), b.SetAt)
 }
 
 // ReadCheckpoint strictly decodes a checkpoint stream: metadata plus the
-// concatenation of every segment's RR sets. Any damage — a torn final
+// concatenation of every segment's RR sets, decoded in one pass with the
+// sets' backing storage carved from a shared arena (one large allocation per
+// ~4 MiB of payload rather than one per record). Any damage — a torn final
 // segment included — is an error; crash recovery by truncation is
 // OpenCheckpoint's job, where the file can actually be repaired.
 func ReadCheckpoint(r io.Reader) (CheckpointMeta, [][]graph.VertexID, error) {
@@ -288,8 +309,9 @@ func ReadCheckpoint(r io.Reader) (CheckpointMeta, [][]graph.VertexID, error) {
 		return CheckpointMeta{}, nil, err
 	}
 	var sets [][]graph.VertexID
+	arena := &vertexArena{}
 	for {
-		segSets, _, _, _, err := readSegment(br, meta.N, len(sets), true)
+		segSets, _, _, _, err := readSegment(br, meta.N, len(sets), arena)
 		if err == io.EOF {
 			return meta, sets, nil
 		}
@@ -319,7 +341,10 @@ func ResumeBuilder(r io.Reader, ig *graph.InfluenceGraph, workers int) (*core.Sk
 		return nil, fmt.Errorf("%w: checkpoint graph fingerprint %016x, build graph %016x (different edges or edge probabilities)",
 			ErrCheckpointMeta, meta.GraphHash, hash)
 	}
-	return core.ResumeSketchBuilder(ig, meta.Model, workers, meta.Seed, sets)
+	// ReadCheckpoint already validated every vertex id while decoding, so go
+	// through the trusted store constructor: one decode pass total, no second
+	// validation sweep over the materialized sets.
+	return core.NewSketchBuilderFromStore(ig, meta.Model, workers, meta.Seed, core.NewMemStore(sets))
 }
 
 // Checkpointer appends build progress to an on-disk checkpoint file. It is
@@ -383,9 +408,10 @@ func OpenCheckpoint(path string, meta CheckpointMeta) (*Checkpointer, [][]graph.
 			ErrCheckpointMeta, got.Model, got.Seed, got.N, got.GraphHash, meta.Model, meta.Seed, meta.N, meta.GraphHash)
 	}
 	var sets [][]graph.VertexID
+	arena := &vertexArena{}
 	off := int64(headerLen)
 	for {
-		segSets, _, size, _, err := readSegment(br, meta.N, len(sets), true)
+		segSets, _, size, _, err := readSegment(br, meta.N, len(sets), arena)
 		if err == io.EOF {
 			break
 		}
@@ -459,14 +485,19 @@ func BuildWithCheckpoint(ctx context.Context, path string, ig *graph.InfluenceGr
 		return nil, core.BuildResult{}, err
 	}
 	defer cp.Close()
-	b, err := core.ResumeSketchBuilder(ig, model, workers, seed, sets)
+	// OpenCheckpoint validated the sets while decoding them; trust the store.
+	b, err := core.NewSketchBuilderFromStore(ig, model, workers, seed, core.NewMemStore(sets))
 	if err != nil {
 		return nil, core.BuildResult{}, err
 	}
 	durable := b.NumSets()
 	userProgress := target.Progress
 	target.Progress = func(p core.BuildProgress) error {
-		if err := cp.Append(b.Sets()[durable:p.Sets]); err != nil {
+		fresh, err := b.SetsRange(durable, p.Sets)
+		if err != nil {
+			return err
+		}
+		if err := cp.Append(fresh); err != nil {
 			return err
 		}
 		durable = p.Sets

@@ -41,6 +41,17 @@ func appendSets(t testing.TB, b *core.SketchBuilder, m int) {
 	}
 }
 
+// setsRange snapshots the builder's RR sets in [from, to) via the store-backed
+// accessor (the old Sets() slice view is gone).
+func setsRange(t testing.TB, b *core.SketchBuilder, from, to int) [][]graph.VertexID {
+	t.Helper()
+	sets, err := b.SetsRange(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sets
+}
+
 // encodeOracle renders a builder's finished sketch as v1 bytes — the
 // byte-identity yardstick of the acceptance criteria.
 func encodeOracle(t testing.TB, o *core.Oracle) []byte {
@@ -213,11 +224,11 @@ func TestOpenCheckpointAppendResume(t *testing.T) {
 	}
 	b := mustBuilder(t, ig, 2, 17)
 	appendSets(t, b, 700)
-	if err := cp.Append(b.Sets()[:700]); err != nil {
+	if err := cp.Append(setsRange(t, b, 0, 700)); err != nil {
 		t.Fatal(err)
 	}
 	appendSets(t, b, 300)
-	if err := cp.Append(b.Sets()[700:1000]); err != nil {
+	if err := cp.Append(setsRange(t, b, 700, 1000)); err != nil {
 		t.Fatal(err)
 	}
 	if err := cp.Append(nil); err != nil { // no-op segment
@@ -238,7 +249,7 @@ func TestOpenCheckpointAppendResume(t *testing.T) {
 	if cp2.NumSets() != 1000 {
 		t.Fatalf("reopened checkpoint reports %d sets, want 1000", cp2.NumSets())
 	}
-	if !reflect.DeepEqual(sets2, b.Sets()[:1000]) {
+	if !reflect.DeepEqual(sets2, setsRange(t, b, 0, 1000)) {
 		t.Error("reopened checkpoint sets differ from the builder's")
 	}
 
@@ -262,7 +273,7 @@ func TestOpenCheckpointTruncatesTornTail(t *testing.T) {
 	}
 	b := mustBuilder(t, ig, 1, 23)
 	appendSets(t, b, 400)
-	if err := cp.Append(b.Sets()[:250]); err != nil {
+	if err := cp.Append(setsRange(t, b, 0, 250)); err != nil {
 		t.Fatal(err)
 	}
 	if err := cp.Close(); err != nil {
@@ -275,7 +286,7 @@ func TestOpenCheckpointTruncatesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSegment(f, b.Sets()[250:400]); err != nil {
+	if err := writeSegment(f, setsRange(t, b, 250, 400)); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -297,7 +308,7 @@ func TestOpenCheckpointTruncatesTornTail(t *testing.T) {
 	}
 	// The recovered file must accept appends again and line up with the
 	// deterministic sequence.
-	if err := cp2.Append(b.Sets()[250:400]); err != nil {
+	if err := cp2.Append(setsRange(t, b, 250, 400)); err != nil {
 		t.Fatal(err)
 	}
 	if err := cp2.Close(); err != nil {
@@ -307,7 +318,7 @@ func TestOpenCheckpointTruncatesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(sets3, b.Sets()[:400]) {
+	if !reflect.DeepEqual(sets3, setsRange(t, b, 0, 400)) {
 		t.Error("post-recovery appended checkpoint differs from builder sequence")
 	}
 }
@@ -411,10 +422,10 @@ func TestInspectV1AndV2(t *testing.T) {
 	}
 	b := mustBuilder(t, ig, 1, 3)
 	appendSets(t, b, 60)
-	if err := cp.Append(b.Sets()[:40]); err != nil {
+	if err := cp.Append(setsRange(t, b, 0, 40)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cp.Append(b.Sets()[40:]); err != nil {
+	if err := cp.Append(setsRange(t, b, 40, b.NumSets())); err != nil {
 		t.Fatal(err)
 	}
 	cp.Close()

@@ -110,9 +110,9 @@ func inspectV1(br *bufio.Reader, hdr []byte, info *FileInfo) error {
 	info.Sections = append(info.Sections, headerSection)
 
 	payload := SectionInfo{Name: "payload", Offset: headerLen, Size: int64(h.payloadLen)}
-	// Validate-and-discard (keep=false): -info must verify multi-GB sketches
+	// Validate-and-discard (nil arena): -info must verify multi-GB sketches
 	// without materializing their RR sets.
-	if _, err := readRecords(io.TeeReader(br, crc), h.n, h.numSets, h.payloadLen, false); err != nil {
+	if _, err := readRecords(io.TeeReader(br, crc), h.n, h.numSets, h.payloadLen, nil); err != nil {
 		payload.Detail = err.Error()
 		info.Sections = append(info.Sections, payload)
 		return nil
@@ -156,7 +156,7 @@ func inspectV2(br *bufio.Reader, hdr []byte, info *FileInfo) error {
 
 	off := int64(headerLen)
 	for i := 0; ; i++ {
-		_, count, size, crc, err := readSegment(br, meta.N, info.NumSets, false)
+		_, count, size, crc, err := readSegment(br, meta.N, info.NumSets, nil)
 		if err == io.EOF {
 			return nil
 		}

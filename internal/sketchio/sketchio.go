@@ -65,11 +65,7 @@ var (
 
 // EncodedSize returns the exact on-disk size in bytes of o's sketch.
 func EncodedSize(o *core.Oracle) int64 {
-	var payload int64
-	for i := 0; i < o.NumSets(); i++ {
-		payload += 4 + 4*int64(len(o.RRSet(i)))
-	}
-	return headerLen + payload + 4
+	return headerLen + o.PayloadBytes() + 4
 }
 
 // Encode writes o as a sketch to w.
@@ -80,10 +76,10 @@ func Encode(w io.Writer, o *core.Oracle) error {
 	crc := crc32.New(castagnoliTab)
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
 
-	var payload uint64
-	for i := 0; i < o.NumSets(); i++ {
-		payload += 4 + 4*uint64(len(o.RRSet(i)))
-	}
+	// The oracle pinned its payload size while building the member index, so
+	// no sizing pass over the (possibly disk-backed) sets is needed here; the
+	// single writeRecords pass below streams them segment by segment.
+	payload := uint64(o.PayloadBytes())
 	hdr := make([]byte, headerLen)
 	copy(hdr, magic)
 	binary.LittleEndian.PutUint16(hdr[4:], Version)
@@ -233,7 +229,7 @@ func Decode(r io.Reader) (*core.Oracle, error) {
 		return nil, err
 	}
 
-	rrSets, err := readRecords(tee, h.n, h.numSets, h.payloadLen, true)
+	rrSets, err := readRecords(tee, h.n, h.numSets, h.payloadLen, &vertexArena{})
 	if err != nil {
 		return nil, err
 	}
@@ -253,12 +249,14 @@ func Decode(r io.Reader) (*core.Oracle, error) {
 // readRecords decodes numSets length-prefixed RR-set records spanning exactly
 // payloadLen bytes of r, validating every vertex id against [0, n). It is the
 // payload decoder shared by the v1 sketch format and the v2 checkpoint
-// segments. With keep=false it validates and discards instead of
-// materializing the sets (returning nil) — Inspect verifies multi-GB files
-// in O(record) memory this way.
-func readRecords(tee io.Reader, n, numSets int, payloadLen uint64, keep bool) ([][]graph.VertexID, error) {
+// segments. The sets' backing storage is carved from arena (chunked, one
+// large allocation per ~4 MiB of payload instead of one per record); with a
+// nil arena the records are validated and discarded instead of materialized
+// (returning nil) — Inspect verifies multi-GB files in O(record) memory this
+// way.
+func readRecords(tee io.Reader, n, numSets int, payloadLen uint64, arena *vertexArena) ([][]graph.VertexID, error) {
 	var rrSets [][]graph.VertexID
-	if keep {
+	if arena != nil {
 		rrSets = make([][]graph.VertexID, numSets)
 	}
 	remaining := payloadLen
@@ -293,7 +291,7 @@ func readRecords(tee io.Reader, n, numSets int, payloadLen uint64, keep bool) ([
 			return nil, readErr(err)
 		}
 		remaining -= need
-		if !keep {
+		if arena == nil {
 			for j := 0; j < int(count); j++ {
 				if v := binary.LittleEndian.Uint32(buf[4*j:]); uint64(v) >= uint64(n) {
 					return nil, fmt.Errorf("%w: RR set %d contains vertex %d outside [0, %d)", ErrCorrupt, i, v, n)
@@ -301,7 +299,7 @@ func readRecords(tee io.Reader, n, numSets int, payloadLen uint64, keep bool) ([
 			}
 			continue
 		}
-		set := make([]graph.VertexID, count)
+		set := arena.alloc(int(count))
 		for j := range set {
 			v := binary.LittleEndian.Uint32(buf[4*j:])
 			if uint64(v) >= uint64(n) {

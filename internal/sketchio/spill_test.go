@@ -1,0 +1,332 @@
+package sketchio
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"imdist/internal/core"
+	"imdist/internal/diffusion"
+	"imdist/internal/graph"
+)
+
+// memoryBuiltSketch builds total sets in memory at the given worker count and
+// returns the finalized v1 sketch bytes plus the builder.
+func memoryBuiltSketch(t testing.TB, workers, total int, seed uint64) ([]byte, *core.SketchBuilder) {
+	t.Helper()
+	b := mustBuilder(t, karateGraph(t), workers, seed)
+	appendSets(t, b, total)
+	o, err := b.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encodeOracle(t, o), b
+}
+
+// spillBuiltSketch runs a fixed-size spill build and returns the finalized v1
+// sketch bytes plus the store (closed via t.Cleanup).
+func spillBuiltSketch(t testing.TB, path string, workers, total int, seed uint64, budget int64, maxBatch int) ([]byte, *SpillStore) {
+	t.Helper()
+	b, store, res, err := BuildSpill(context.Background(), path, karateGraph(t), diffusion.IC, workers, seed, budget,
+		core.BuildTarget{MaxSets: total, MaxBatch: maxBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	if res.Sets != total {
+		t.Fatalf("spill build stopped at %d sets, want %d", res.Sets, total)
+	}
+	o, err := b.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encodeOracle(t, o), store
+}
+
+// TestSpillMatchesMemoryAcrossBudgetsAndWorkers is the equivalence matrix of
+// the satellite task: budgets {tiny, unbounded} × workers {1, 4} must all
+// produce a v1 sketch byte-identical (same SHA-256) to the in-memory build,
+// with identical ErrorBound values.
+func TestSpillMatchesMemoryAcrossBudgetsAndWorkers(t *testing.T) {
+	const total, seed = 3000, 29
+	memSketch, memBuilder := memoryBuiltSketch(t, 2, total, seed)
+	wantSum := sha256.Sum256(memSketch)
+	wantBound := memBuilder.ErrorBound(10, 0.01)
+
+	for _, workers := range []int{1, 4} {
+		for _, budget := range []int64{4096, -1} {
+			t.Run(fmt.Sprintf("workers=%d/budget=%d", workers, budget), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "build.spill")
+				// A small batch cap forces many segments, so the tiny budget
+				// actually cycles the working set.
+				sketch, store := spillBuiltSketch(t, path, workers, total, seed, budget, 256)
+				if got := sha256.Sum256(sketch); got != wantSum {
+					t.Error("spill sketch not byte-identical to in-memory sketch")
+				}
+				st := store.Stats()
+				if st.SpillBytes <= 0 || st.Sets != total {
+					t.Errorf("spill stats = %+v", st)
+				}
+				sb, err := core.NewSketchBuilderFromStore(karateGraph(t), diffusion.IC, workers, seed, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sb.ErrorBound(10, 0.01); got != wantBound {
+					t.Errorf("spill ErrorBound = %v, in-memory = %v", got, wantBound)
+				}
+			})
+		}
+	}
+}
+
+// TestSpillBuildsTenTimesBudget is the acceptance criterion: a build whose
+// durable footprint exceeds 10× the memory budget still completes, keeps its
+// decoded working set within budget slack, and produces a sketch with the
+// same SHA-256 as the unconstrained in-memory build.
+func TestSpillBuildsTenTimesBudget(t *testing.T) {
+	const (
+		total  = 20000
+		seed   = 31
+		budget = 8 << 10 // 8 KiB — tiny against ~hundreds of KiB of RR sets
+	)
+	memSketch, _ := memoryBuiltSketch(t, 4, total, seed)
+	path := filepath.Join(t.TempDir(), "big.spill")
+	sketch, store := spillBuiltSketch(t, path, 4, total, seed, budget, 512)
+
+	st := store.Stats()
+	if st.SpillBytes < 10*budget {
+		t.Fatalf("spill footprint %d bytes not ≥ 10× the %d-byte budget — grow the build", st.SpillBytes, budget)
+	}
+	// The working set may hold one over-budget segment (the pinned newest),
+	// but never the whole build.
+	if st.MemBytes >= st.SpillBytes/2 {
+		t.Errorf("working set %d bytes is not bounded against %d spilled", st.MemBytes, st.SpillBytes)
+	}
+	if sha256.Sum256(sketch) != sha256.Sum256(memSketch) {
+		t.Error("10×-budget spill sketch not byte-identical to in-memory sketch")
+	}
+
+	// The file on disk doubles as a checkpoint: a plain checkpoint reader
+	// must see exactly the built sets.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	meta, sets, err := ReadCheckpoint(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != store.Meta() || len(sets) != total {
+		t.Errorf("spill file as checkpoint: meta=%+v sets=%d", meta, len(sets))
+	}
+}
+
+// TestSpillResumeMidBuildKill cancels a spill build mid-flight, reopens the
+// same file, finishes the build, and requires the final sketch to be
+// byte-identical to the uninterrupted in-memory build — the crash-resume
+// guarantee of using the checkpoint format as the build medium.
+func TestSpillResumeMidBuildKill(t *testing.T) {
+	const total, seed = 6000, 37
+	memSketch, _ := memoryBuiltSketch(t, 2, total, seed)
+	path := filepath.Join(t.TempDir(), "killed.spill")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	target := core.BuildTarget{
+		MaxSets:  total,
+		MaxBatch: 500,
+		Progress: func(p core.BuildProgress) error {
+			if p.Sets >= 2000 {
+				cancel() // simulated kill between durable segments
+			}
+			return nil
+		},
+	}
+	_, store, _, err := BuildSpill(ctx, path, karateGraph(t), diffusion.IC, 2, seed, 16<<10, target)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build returned %v, want context.Canceled", err)
+	}
+	durable := store.NumSets()
+	if durable < 2000 || durable >= total {
+		t.Fatalf("killed build left %d durable sets", durable)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: same path, same identity, different worker count on purpose.
+	b2, store2, res, err := BuildSpill(context.Background(), path, karateGraph(t), diffusion.IC, 4, seed, 16<<10,
+		core.BuildTarget{MaxSets: total, MaxBatch: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if res.Sets != total {
+		t.Fatalf("resumed build stopped at %d sets", res.Sets)
+	}
+	o, err := b2.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeOracle(t, o), memSketch) {
+		t.Error("kill+resume spill sketch not byte-identical to in-memory sketch")
+	}
+}
+
+// TestOpenSpillStoreTruncatesTornTail writes garbage after the last durable
+// segment (a crash mid-append) and verifies reopening drops exactly the tail.
+func TestOpenSpillStoreTruncatesTornTail(t *testing.T) {
+	ig := karateGraph(t)
+	meta := checkpointMetaFor(ig, diffusion.IC, 41)
+	path := filepath.Join(t.TempDir(), "torn.spill")
+	s, err := OpenSpillStore(path, meta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustBuilder(t, ig, 1, 41)
+	appendSets(t, b, 300)
+	if err := s.Append(setsRange(t, b, 0, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := fileSize(t, path)
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("SEGMtorn-segment-garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSpillStore(path, meta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumSets() != 300 {
+		t.Errorf("torn-tail reopen holds %d sets, want 300", s2.NumSets())
+	}
+	if got := fileSize(t, path); got != goodSize {
+		t.Errorf("file size after reopen = %d, want %d", got, goodSize)
+	}
+	// Reads of the recovered prefix round-trip.
+	if !setsEqual(s2.Set(123), b.SetAt(123)) {
+		t.Error("recovered set 123 differs from builder's")
+	}
+
+	wrong := meta
+	wrong.Seed++
+	if _, err := OpenSpillStore(path, wrong, 0); !errors.Is(err, ErrCheckpointMeta) {
+		t.Errorf("mismatched meta: err = %v, want ErrCheckpointMeta", err)
+	}
+}
+
+func setsEqual(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSpillStoreConcurrentReadsWithAppend drives the RRStore concurrency
+// contract on the disk-backed store under -race: point reads, bulk scans and
+// stats race with one appender.
+func TestSpillStoreConcurrentReadsWithAppend(t *testing.T) {
+	ig := karateGraph(t)
+	meta := checkpointMetaFor(ig, diffusion.IC, 43)
+	s, err := OpenSpillStore(filepath.Join(t.TempDir(), "conc.spill"), meta, 2<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b := mustBuilder(t, ig, 2, 43)
+	appendSets(t, b, 2000)
+	if err := s.Append(setsRange(t, b, 0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for from := 1000; from < 2000; from += 100 {
+			if err := s.Append(setsRange(t, b, from, from+100)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if !setsEqual(s.Set(i%1000), b.SetAt(i%1000)) {
+				t.Errorf("set %d mismatch under concurrency", i%1000)
+				return
+			}
+			_ = s.Stats()
+		}
+		if err := s.ForEach(0, 1000, func(i int, set []graph.VertexID) error {
+			if !setsEqual(set, b.SetAt(i)) {
+				return fmt.Errorf("ForEach set %d mismatch", i)
+			}
+			return nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if s.NumSets() != 2000 {
+		t.Errorf("store holds %d sets, want 2000", s.NumSets())
+	}
+	if st := s.Stats(); st.MemBytes > st.SpillBytes {
+		t.Errorf("working set %d exceeds durable size %d on a tiny budget", st.MemBytes, st.SpillBytes)
+	}
+}
+
+// TestSpillStoreEviction checks the budget actually evicts: after appending
+// far more than the budget, the cache holds a strict subset, and re-reading
+// an evicted segment decodes it back correctly.
+func TestSpillStoreEviction(t *testing.T) {
+	ig := karateGraph(t)
+	meta := checkpointMetaFor(ig, diffusion.IC, 47)
+	const budget = 4 << 10
+	s, err := OpenSpillStore(filepath.Join(t.TempDir(), "evict.spill"), meta, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b := mustBuilder(t, ig, 1, 47)
+	appendSets(t, b, 3000)
+	for from := 0; from < 3000; from += 250 {
+		if err := s.Append(setsRange(t, b, from, from+250)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.MemBytes >= st.PayloadBytes {
+		t.Fatalf("nothing evicted: mem %d vs payload %d", st.MemBytes, st.PayloadBytes)
+	}
+	// Oldest segments are long evicted; read them back through the file.
+	for _, i := range []int{0, 1, 249, 250, 1500, 2999} {
+		if !setsEqual(s.Set(i), b.SetAt(i)) {
+			t.Errorf("set %d corrupted across eviction round-trip", i)
+		}
+	}
+}
