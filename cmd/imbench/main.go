@@ -136,6 +136,9 @@ func run(args []string, stdout io.Writer) error {
 		mode        = fs.String("mode", "both", "request mode: single, batch or both")
 		seed        = fs.Uint64("seed", 1, "workload generation seed (equal seeds replay identical query streams)")
 		out         = fs.String("out", "", "write the JSON report to this file (default stdout)")
+		kernel      = fs.String("kernel", "auto", "coverage kernel of the in-process server (-sketch runs): auto, epoch or bitpack")
+		compare     = fs.Bool("compare-kernels", false, "benchmark the epoch and bitpack kernels head to head on the -sketch oracle (no HTTP), assert byte-identical answers, and report the speedup")
+		repeat      = fs.Int("repeat", 8, "workload passes per kernel in -compare-kernels mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,13 +165,22 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if *compare {
+		if *sketch == "" {
+			return fmt.Errorf("-compare-kernels requires -sketch (it benchmarks the oracle directly, without HTTP)")
+		}
+		if *repeat < 1 {
+			return fmt.Errorf("-repeat must be >= 1, got %d", *repeat)
+		}
+		return runCompareKernels(*sketch, m, *queries, *maxSeeds, *batch, *repeat, *seed, *out, stdout)
+	}
 
 	base := strings.TrimSuffix(*addr, "/")
 	switch {
 	case *sketch != "" && *addr != "":
 		return fmt.Errorf("-addr and -sketch are mutually exclusive")
 	case *sketch != "":
-		stop, inproc, err := startInProcess(*sketch)
+		stop, inproc, err := startInProcess(*sketch, *kernel)
 		if err != nil {
 			return err
 		}
@@ -247,8 +259,9 @@ func run(args []string, stdout io.Writer) error {
 // entries; the first entry becomes the default sketch. The LRU caches are
 // disabled: with them on, the first replay pass would warm them and later
 // passes would measure cache lookups instead of the query engines. It
-// returns a shutdown func and the server's base URL.
-func startInProcess(spec string) (func(), string, error) {
+// returns a shutdown func and the server's base URL. kernel selects the
+// coverage kernel of every served sketch (auto, epoch or bitpack).
+func startInProcess(spec, kernel string) (func(), string, error) {
 	sketches := make(map[string]*core.Oracle)
 	defaultName := ""
 	for _, entry := range strings.Split(spec, ",") {
@@ -268,7 +281,7 @@ func startInProcess(spec string) (func(), string, error) {
 			defaultName = name
 		}
 	}
-	srv, err := server.New(server.Config{Sketches: sketches, DefaultSketch: defaultName, CacheSize: -1})
+	srv, err := server.New(server.Config{Sketches: sketches, DefaultSketch: defaultName, CacheSize: -1, Kernel: kernel})
 	if err != nil {
 		return nil, "", err
 	}

@@ -121,6 +121,7 @@ func run(args []string) error {
 		rr         = fs.Int("rr", 200000, "number of reverse-reachable sets (the cap, for -target-eps builds)")
 		seed       = fs.Uint64("seed", 1, "random seed (recorded in the sketch)")
 		workers    = fs.Int("workers", -1, "build parallelism: 1 = serial, >1 = that many workers, -1 = all CPUs")
+		kernel     = fs.String("kernel", "auto", "coverage kernel for the build's error-bound evaluations: auto, epoch or bitpack (sketch bytes are identical either way)")
 		out        = fs.String("out", "", "output sketch path (required for a build)")
 		info       = fs.String("info", "", "verify an existing sketch or checkpoint section by section and exit")
 		targetEps  = fs.Float64("target-eps", 0, "build adaptively to this relative error (0 = fixed -rr build)")
@@ -195,7 +196,7 @@ func run(args []string) error {
 		return err
 	}
 
-	opt := imdist.OracleOptions{Model: *model, Seed: *seed, Workers: *workers}
+	opt := imdist.OracleOptions{Model: *model, Seed: *seed, Workers: *workers, Kernel: *kernel}
 	bopt := imdist.BuildOptions{
 		TargetEps: *targetEps,
 		Delta:     *delta,

@@ -1,0 +1,59 @@
+package imdist
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownLinkRE matches inline markdown links: [text](target).
+var markdownLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve scans every tracked markdown file for relative links
+// and fails on any whose target file does not exist, so the README and the
+// docs/ references cannot silently rot as files move. External URLs and
+// in-page anchors are out of scope.
+func TestDocsLinksResolve(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 3 {
+		t.Fatalf("found only %d markdown files (%v) — glob broken?", len(files), files)
+	}
+
+	checked := 0
+	for _, file := range files {
+		if filepath.Base(file) == "SNIPPETS.md" {
+			continue // quotes external repos verbatim; its links target those repos
+		}
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range markdownLinkRE.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve: %v", file, m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found in any markdown file — regexp broken?")
+	}
+}

@@ -52,9 +52,19 @@ func (o *Oracle) batchInfluence(seedSets [][]graph.VertexID, workers, shardSize 
 		}
 	}
 	numShards := (o.numSets + shardSize - 1) / shardSize
+	// The packed kernel applies when its block layout matches this call's
+	// sharding (always true outside tests that force odd shard sizes): each
+	// (shard, query) cell then ORs shard-local rows into an 8 KiB accumulator
+	// and popcounts, instead of stamping epoch marks per element. Both paths
+	// produce the same exact per-shard integers.
+	var packed *bitMatrix
+	if o.useBitpack() && shardSize == DefaultBatchShardSize {
+		packed = o.packedMatrix()
+	}
 	// One work item per (shard, query) cell, laid out shard-major: a worker's
 	// contiguous chunk of items then walks many queries over the same index
-	// range, keeping its mark scratch and the touched membership ranges warm.
+	// range, keeping its scratch and the touched word or membership ranges
+	// warm.
 	items := numShards * numQueries
 	counts := make([]int64, items)
 	w := parallel.Resolve(workers, items)
@@ -65,17 +75,31 @@ func (o *Oracle) batchInfluence(seedSets [][]graph.VertexID, workers, shardSize 
 			return
 		}
 		shard := item / numQueries
+		seeds := seedSets[q]
+		sc := scratches[worker]
+		if sc == nil {
+			sc = &batchScratch{}
+			scratches[worker] = sc
+		}
+		// Single-seed cells always take the membership binary search in
+		// shardCoverage: it reads O(log) entries where the popcount would
+		// scan the whole row.
+		if packed != nil && len(seeds) > 1 {
+			if sc.acc == nil {
+				sc.acc = make([]uint64, packed.maxBlockWords())
+			}
+			counts[item] = packed.blockCoverage(seeds, shard, sc.acc)
+			return
+		}
 		lo := shard * shardSize
 		hi := lo + shardSize
 		if hi > o.numSets {
 			hi = o.numSets
 		}
-		sc := scratches[worker]
-		if sc == nil {
-			sc = &batchScratch{marks: make([]int32, shardSize)}
-			scratches[worker] = sc
+		if sc.marks == nil {
+			sc.marks = make([]int32, shardSize)
 		}
-		counts[item] = o.shardCoverage(seedSets[q], lo, hi, sc)
+		counts[item] = o.shardCoverage(seeds, lo, hi, sc)
 	})
 	for q := range seedSets {
 		if errs[q] != nil {
@@ -90,12 +114,15 @@ func (o *Oracle) batchInfluence(seedSets [][]graph.VertexID, workers, shardSize 
 	return values, errs
 }
 
-// batchScratch is the per-worker scratch of the batch engine: an epoch-
-// stamped mark array of one shard's width, reused across every (shard, query)
-// cell the worker processes.
+// batchScratch is the per-worker scratch of the batch engine, reused across
+// every (shard, query) cell the worker processes: an epoch-stamped mark array
+// of one shard's width for the epoch kernel, and a covered-word accumulator
+// of one block's width for the bitpack kernel. Each side allocates lazily on
+// the first cell that needs it.
 type batchScratch struct {
 	marks []int32
 	epoch int32
+	acc   []uint64
 }
 
 // shardCoverage counts the RR sets with index in [lo, hi) that intersect

@@ -51,6 +51,10 @@ type Oracle struct {
 	// influencePool holds *influenceScratch, greedyPool holds *greedyScratch.
 	influencePool sync.Pool
 	greedyPool    sync.Pool
+
+	// kernels holds the coverage-kernel selection (epoch vs bitpack) and the
+	// lazily built packed index; see kernel.go.
+	kernels kernelState
 }
 
 // ErrEmptyGraph reports an oracle request on an empty graph.
@@ -167,6 +171,7 @@ func NewOracleFromStore(n int, model diffusion.Model, seed uint64, store RRStore
 	if err := o.buildMemberIndex(); err != nil {
 		return nil, err
 	}
+	o.decideAutoKernel()
 	return o, nil
 }
 
@@ -281,8 +286,12 @@ func (o *Oracle) influenceOf(seeds []graph.VertexID) float64 {
 		return 0
 	}
 	if len(seeds) == 1 {
-		// Fast path used heavily by Table 4 and the per-vertex rankings.
+		// Fast path used heavily by Table 4 and the per-vertex rankings; both
+		// kernels count a single vertex's coverage as its membership length.
 		return float64(o.n) * float64(len(o.memberOf[seeds[0]])) / float64(o.numSets)
+	}
+	if o.useBitpack() {
+		return float64(o.n) * float64(o.bitpackCoverage(seeds)) / float64(o.numSets)
 	}
 	s := o.getInfluenceScratch()
 	hit := 0
@@ -340,6 +349,9 @@ func (o *Oracle) GreedySeeds(k int) []graph.VertexID {
 	}
 	if k > o.n {
 		k = o.n
+	}
+	if o.useBitpack() {
+		return o.greedySeedsBitpack(k)
 	}
 	s := o.getGreedyScratch()
 	covered, coverCount, chosen := s.covered, s.coverCount, s.chosen

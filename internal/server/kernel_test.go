@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"imdist/internal/core"
+	"imdist/internal/sketchio"
+)
+
+// getRaw fetches url and returns the status plus the raw body, for
+// byte-for-byte response comparisons.
+func getRaw(t testing.TB, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestConfigKernelValidation pins Config.Kernel's contract: known names (and
+// the empty default) are accepted, unknown names fail New.
+func TestConfigKernelValidation(t *testing.T) {
+	oracle := karateOracle(t)
+	for _, kernel := range []string{"", "auto", "epoch", "bitpack"} {
+		if _, err := New(Config{Oracle: oracle, Kernel: kernel}); err != nil {
+			t.Errorf("Config.Kernel = %q rejected: %v", kernel, err)
+		}
+	}
+	if _, err := New(Config{Oracle: oracle, Kernel: "gpu"}); err == nil {
+		t.Error("Config.Kernel = \"gpu\" accepted")
+	}
+}
+
+// TestServerKernelsAnswerIdentically serves the same sketch from two servers
+// pinned to opposite kernels and requires byte-identical response bodies on
+// the whole query surface — the HTTP layer's view of the kernel contract.
+func TestServerKernelsAnswerIdentically(t *testing.T) {
+	serverFor := func(kernel string) *httptest.Server {
+		s, err := New(Config{Oracle: loadedKarateOracle(t), Kernel: kernel, CacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	epoch := serverFor("epoch")
+	bitpack := serverFor("bitpack")
+
+	type call struct{ method, path, body string }
+	calls := []call{
+		{"POST", "/v1/influence", `{"seeds":[0,33,16]}`},
+		{"POST", "/v1/influence", `{"seeds":[5]}`},
+		{"POST", "/v1/influence:batch", `[{"seeds":[0]},{"seeds":[1,2,3]},{"seeds":[30,31,32,33]}]`},
+		{"POST", "/v1/seeds", `{"k":5}`},
+		{"GET", "/v1/top?k=8", ""},
+	}
+	for _, c := range calls {
+		var wantStatus, gotStatus int
+		var want, got []byte
+		if c.method == "GET" {
+			wantStatus, want = getRaw(t, epoch.URL+c.path)
+			gotStatus, got = getRaw(t, bitpack.URL+c.path)
+		} else {
+			wantStatus, want = postJSON(t, epoch.URL+c.path, c.body)
+			gotStatus, got = postJSON(t, bitpack.URL+c.path, c.body)
+		}
+		if wantStatus != 200 || gotStatus != 200 {
+			t.Fatalf("%s %s: statuses %d vs %d", c.method, c.path, wantStatus, gotStatus)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s %s: epoch body %s != bitpack body %s", c.method, c.path, want, got)
+		}
+	}
+}
+
+// TestRegistryAppliesKernelToLoads verifies the one-knob-for-all-sketches
+// behavior: a sketch loaded through Registry.LoadFile (the imserve and admin
+// reload path) comes up on the server's configured kernel, and /v1/sketches
+// reports it.
+func TestRegistryAppliesKernelToLoads(t *testing.T) {
+	s, err := New(Config{AllowEmpty: true, Kernel: "bitpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "karate.sketch")
+	var buf bytes.Buffer
+	if err := sketchio.Encode(&buf, karateOracle(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Registry().LoadFile("karate", path); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Registry().acquire("karate")
+	if !ok {
+		t.Fatal("loaded sketch not acquirable")
+	}
+	defer e.release()
+	if got := e.oracle.KernelConfigured(); got != core.KernelBitpack {
+		t.Errorf("loaded oracle configured kernel = %q, want bitpack", got)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	var list struct {
+		Sketches []struct {
+			Name   string `json:"name"`
+			Kernel string `json:"kernel"`
+		} `json:"sketches"`
+	}
+	if status := getJSON(t, ts.URL+"/v1/sketches", &list); status != 200 {
+		t.Fatalf("GET /v1/sketches: status %d", status)
+	}
+	if len(list.Sketches) != 1 || list.Sketches[0].Kernel != "bitpack" {
+		t.Errorf("/v1/sketches reports %+v, want one sketch on the bitpack kernel", list.Sketches)
+	}
+}
+
+// TestRegisterAppliesKernel covers the in-memory Config.Sketches path: every
+// oracle handed to New comes up on the configured kernel.
+func TestRegisterAppliesKernel(t *testing.T) {
+	oracle := karateOracle(t)
+	if _, err := New(Config{Sketches: map[string]*core.Oracle{"k": oracle}, Kernel: "epoch"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.KernelConfigured(); got != core.KernelEpoch {
+		t.Errorf("registered oracle configured kernel = %q, want epoch", got)
+	}
+}

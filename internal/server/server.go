@@ -103,6 +103,11 @@ type Config struct {
 	// engine for each /v1/influence:batch request. The zero value selects one
 	// worker per CPU; 1 evaluates batches on the request goroutine.
 	BatchWorkers int
+	// Kernel is the coverage kernel applied to every sketch the server holds —
+	// those in this Config and every later registry load or admin reload:
+	// "epoch", "bitpack", or "auto" (the default; "" means auto). Kernels
+	// change only query speed, never answers (see core.Kernel).
+	Kernel string
 	// ReadTimeout and WriteTimeout bound the HTTP request read and response
 	// write of ListenAndServe's server. Zero selects DefaultReadTimeout /
 	// DefaultWriteTimeout; negative disables the limit entirely (trusted
@@ -178,12 +183,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBuildSets < 1 {
 		cfg.MaxBuildSets = DefaultMaxBuildSets
 	}
+	kernel, err := core.ParseKernel(cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Kernel = string(kernel)
 	s := &Server{
 		registry: NewRegistry(cfg.CacheSize),
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 	}
+	s.registry.SetKernel(kernel)
 	s.builds = newBuildManager(s.registry, cfg.BuildConcurrency, cfg.MaxQueuedBuilds, cfg.MaxBuildSets)
 	if cfg.Oracle != nil {
 		name := cfg.DefaultSketch
@@ -646,6 +657,7 @@ type sketchInfo struct {
 	RRSets           int     `json:"rr_sets"`
 	Model            string  `json:"model"`
 	BuildSeed        uint64  `json:"build_seed"`
+	Kernel           string  `json:"kernel"`
 	CI99             float64 `json:"ci99"`
 	Source           string  `json:"source,omitempty"`
 	Mapped           bool    `json:"mapped"`
@@ -665,6 +677,7 @@ func (s *Server) infoFor(e *sketchEntry, defaultName string) sketchInfo {
 		RRSets:           e.oracle.NumSets(),
 		Model:            e.oracle.Model().String(),
 		BuildSeed:        e.oracle.BuildSeed(),
+		Kernel:           string(e.oracle.KernelResolved()),
 		CI99:             e.oracle.ConfidenceHalfWidth(2.576),
 		Source:           e.source,
 		Mapped:           e.mapped != nil && e.mapped.ZeroCopy(),

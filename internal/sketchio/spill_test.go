@@ -295,8 +295,15 @@ func TestSpillStoreConcurrentReadsWithAppend(t *testing.T) {
 	if s.NumSets() != 2000 {
 		t.Errorf("store holds %d sets, want 2000", s.NumSets())
 	}
-	if st := s.Stats(); st.MemBytes > st.SpillBytes {
-		t.Errorf("working set %d exceeds durable size %d on a tiny budget", st.MemBytes, st.SpillBytes)
+	// The cache may legitimately end holding the 1000-set segment (a late
+	// read re-pins it, and the newest entry is never evicted), so the bound
+	// is one pinned segment, not the byte budget itself.
+	var seg0 int64
+	for i := 0; i < 1000; i++ {
+		seg0 += 24 + 4*int64(len(b.SetAt(i)))
+	}
+	if st := s.Stats(); st.MemBytes > max(2<<10, seg0) {
+		t.Errorf("working set %d exceeds one pinned segment (%d) on a tiny budget", st.MemBytes, seg0)
 	}
 }
 

@@ -1,0 +1,129 @@
+package imdist
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// kernelOracles builds the same sketch twice — once pinned to each kernel —
+// through the public OracleOptions knob.
+func kernelOracles(t *testing.T) (epoch, bitpack *InfluenceOracle) {
+	t.Helper()
+	ig := karateUC(t)
+	build := func(kernel string) *InfluenceOracle {
+		o, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 30000, Seed: 11, Workers: 2, Kernel: kernel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	return build("epoch"), build("bitpack")
+}
+
+// assertOraclesAnswerIdentically drives the full public query surface of two
+// oracles and requires bitwise-equal answers: Influence over a spread of seed
+// sets, BatchInfluence at two worker counts, GreedySeeds and TopVertices.
+func assertOraclesAnswerIdentically(t *testing.T, want, got *InfluenceOracle) {
+	t.Helper()
+	n := want.NumVertices()
+	seedSets := make([][]int, 0, 30)
+	for i := 0; i < 30; i++ {
+		size := 1 + i%5
+		set := make([]int, 0, size)
+		for j := 0; j < size; j++ {
+			set = append(set, (i*13+j*5+1)%n)
+		}
+		seedSets = append(seedSets, set)
+	}
+	for i, seeds := range seedSets {
+		w := mustInfluence(t, want, seeds)
+		g := mustInfluence(t, got, seeds)
+		if math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("Influence(%v) [set %d]: %v vs %v", seeds, i, w, g)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		wantVals, wantErrs := want.BatchInfluence(seedSets, workers)
+		gotVals, gotErrs := got.BatchInfluence(seedSets, workers)
+		for i := range seedSets {
+			if wantErrs[i] != nil || gotErrs[i] != nil {
+				t.Fatalf("batch errs[%d]: %v vs %v", i, wantErrs[i], gotErrs[i])
+			}
+			if math.Float64bits(wantVals[i]) != math.Float64bits(gotVals[i]) {
+				t.Fatalf("BatchInfluence workers=%d item %d: %v vs %v", workers, i, wantVals[i], gotVals[i])
+			}
+		}
+	}
+	wantSeeds := want.GreedySeeds(6)
+	gotSeeds := got.GreedySeeds(6)
+	if len(wantSeeds) != len(gotSeeds) {
+		t.Fatalf("GreedySeeds lengths %d vs %d", len(wantSeeds), len(gotSeeds))
+	}
+	for i := range wantSeeds {
+		if wantSeeds[i] != gotSeeds[i] {
+			t.Fatalf("GreedySeeds[%d]: %d vs %d", i, wantSeeds[i], gotSeeds[i])
+		}
+	}
+	wantTop, wantInfs := want.TopVertices(8)
+	gotTop, gotInfs := got.TopVertices(8)
+	for i := range wantTop {
+		if wantTop[i] != gotTop[i] || math.Float64bits(wantInfs[i]) != math.Float64bits(gotInfs[i]) {
+			t.Fatalf("TopVertices[%d]: (%d, %v) vs (%d, %v)", i, wantTop[i], wantInfs[i], gotTop[i], gotInfs[i])
+		}
+	}
+}
+
+func TestOracleOptionsKernel(t *testing.T) {
+	epoch, bitpack := kernelOracles(t)
+	if got := epoch.Kernel(); got != "epoch" {
+		t.Errorf("epoch oracle reports kernel %q", got)
+	}
+	if got := bitpack.Kernel(); got != "bitpack" {
+		t.Errorf("bitpack oracle reports kernel %q", got)
+	}
+	assertOraclesAnswerIdentically(t, epoch, bitpack)
+}
+
+func TestOracleOptionsKernelRejectsUnknown(t *testing.T) {
+	ig := karateUC(t)
+	if _, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 100, Seed: 1, Kernel: "simd"}); err == nil {
+		t.Fatal("unknown kernel accepted by OracleOptions")
+	}
+	if _, err := ig.NewSketchBuilder(OracleOptions{Seed: 1, Kernel: "simd"}); err == nil {
+		t.Fatal("unknown kernel accepted by NewSketchBuilder")
+	}
+}
+
+// TestSetKernelOnLoadedSketch switches kernels on a sketch loaded from disk —
+// the imserve scenario — and requires the loaded oracle's answers to stay
+// bitwise-identical to the original build under both kernels.
+func TestSetKernelOnLoadedSketch(t *testing.T) {
+	ig := karateUC(t)
+	built, err := ig.NewInfluenceOracleWithOptions(OracleOptions{RRSets: 30000, Seed: 11, Workers: 2, Kernel: "epoch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "karate.sketch")
+	if err := built.SaveSketchFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSketchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.SetKernel("bitpack"); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Kernel(); got != "bitpack" {
+		t.Errorf("loaded sketch reports kernel %q after SetKernel", got)
+	}
+	assertOraclesAnswerIdentically(t, built, loaded)
+
+	if err := loaded.SetKernel("avx"); err == nil {
+		t.Fatal("unknown kernel accepted by SetKernel")
+	}
+	if got := loaded.Kernel(); got != "bitpack" {
+		t.Errorf("failed SetKernel changed the kernel to %q", got)
+	}
+}
