@@ -1,0 +1,20 @@
+// Command imvet runs imdist's project-specific static-analysis suite: the
+// determinism and resource-safety contracts the compiler cannot check.
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation is
+//
+//	go build -o bin/imvet ./cmd/imvet
+//	go vet -vettool=bin/imvet ./...
+//
+// and it also runs standalone over go list patterns (`go tool imvet ./...`).
+// See docs/ANALYSIS.md for the analyzers and the //imvet:allow directive.
+package main
+
+import (
+	"imdist/internal/analysis"
+	"imdist/internal/analysis/suite"
+)
+
+func main() {
+	analysis.VetMain(suite.Analyzers()...)
+}

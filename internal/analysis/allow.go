@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces every imvet comment directive.
+const directivePrefix = "//imvet:"
+
+// An //imvet:allow directive suppresses diagnostics from named analyzers:
+//
+//	data := s.hot // two deterministic sources merged below
+//	//imvet:allow nodet — keys are sorted before the slice is returned
+//	for k := range data { out = append(out, k) }
+//
+// Forms:
+//
+//	//imvet:allow <name>[,<name>...] [justification]
+//	//imvet:allow all [justification]
+//
+// The directive covers its own source line and the line immediately below it,
+// so it works both as an end-of-line comment on the offending statement and
+// as a standalone comment above it. A justification is not parsed but is
+// expected by review convention: an allow without a why does not pass review.
+type directiveIndex map[string]map[int][]string
+
+// indexDirectives scans every file's comments for //imvet:allow directives
+// and returns a filename → line → allowed-analyzer-names index.
+func indexDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := directiveIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, directivePrefix+"allow")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				posn := fset.Position(c.Pos())
+				byLine := idx[posn.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[posn.Filename] = byLine
+				}
+				for _, line := range []int{posn.Line, posn.Line + 1} {
+					byLine[line] = append(byLine[line], names...)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether a diagnostic from the named analyzer at
+// filename:line is suppressed.
+func (idx directiveIndex) allows(filename string, line int, analyzer string) bool {
+	for _, name := range idx[filename][line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}

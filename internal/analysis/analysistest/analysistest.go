@@ -1,0 +1,165 @@
+// Package analysistest runs an imvet analyzer over a fixture package under
+// internal/analysis/testdata/src and checks its diagnostics against
+// x/tools-style `// want "regexp"` expectations in the fixture source.
+//
+// Fixtures live under testdata so the go tool keeps them out of every
+// ./... build, test and vet walk — they exist to *violate* the contracts,
+// and the imvet gate over the real tree must stay clean.
+package analysistest
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"imdist/internal/analysis"
+)
+
+// Run loads testdata/src/<fixture>, runs the analyzer, and reports any
+// mismatch between produced diagnostics and `// want` expectations as test
+// errors.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join(testDataDir(t), "src", fixture)
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+	check(t, pkg, diags)
+}
+
+// expectation is one `// want` regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// check matches diagnostics against expectations one-to-one per line.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	expects := parseExpectations(t, pkg)
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != posn.Filename || e.line != posn.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// wantRE extracts the `// want` marker; the string literals that follow are
+// parsed with parseStrings.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// parseExpectations scans every fixture file's comments for want markers.
+func parseExpectations(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				for _, lit := range parseStrings(t, posn.String(), m[1]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, lit, err)
+					}
+					expects = append(expects, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	return expects
+}
+
+// parseStrings reads a sequence of Go string literals (quoted or backquoted)
+// from the text following a want marker.
+func parseStrings(t *testing.T, posn, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", posn, s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", posn, s[:end+1], err)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", posn, s)
+			}
+			lit = s[1 : 1+end]
+			s = s[2+end:]
+		default:
+			t.Fatalf("%s: want arguments must be string literals, got: %s", posn, s)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}
+
+// testDataDir locates internal/analysis/testdata regardless of which
+// analyzer package's test is running.
+func testDataDir(t *testing.T) string {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-f", "{{.Dir}}", "imdist/internal/analysis")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("locating internal/analysis: %v\n%s", err, stderr.String())
+	}
+	return filepath.Join(strings.TrimSpace(stdout.String()), "testdata")
+}

@@ -1,0 +1,17 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"imdist/internal/analysis/analysistest"
+	"imdist/internal/analysis/lockscope"
+)
+
+// TestLockscope proves the analyzer reproduces the historical PR 6 finding —
+// SketchBuilder.Sets() returning the internal slice of a mutex-guarded type —
+// plus the element-aliasing and guarded-map variants, while accepting
+// copies, unexported helpers, scalar accessors, mutex-free types and the
+// annotated zero-copy contract.
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, lockscope.Analyzer, "lockscope")
+}

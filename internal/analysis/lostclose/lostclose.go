@@ -1,0 +1,216 @@
+// Package lostclose implements the imvet analyzer that enforces resource
+// hygiene on the sketch/checkpoint/spill file paths.
+//
+// Two failure modes have bitten (or nearly bitten) this codebase:
+//
+//   - A silently dropped error from Close/Sync/Flush. On the write paths a
+//     deferred close is too late to matter, but a *bare* `f.Close()` or
+//     `w.Flush()` in normal control flow swallows exactly the I/O error that
+//     tells you a sketch or checkpoint is torn. The analyzer flags every
+//     bare call statement to a niladic Close/Sync/Flush method returning
+//     error; `_ = f.Close()` states the drop explicitly (typical on
+//     already-failing error paths) and is accepted, as is `defer f.Close()`.
+//
+//   - A closeable handle (os.File, MappedSketch, SpillStore, ...) that is
+//     opened, used, and simply forgotten — never closed, never returned,
+//     never handed to anything that could close it. The analyzer flags a
+//     locally created value whose type has a Close() error method when it
+//     neither escapes the function nor reaches a release call.
+package lostclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imdist/internal/analysis"
+)
+
+// Analyzer is the lostclose pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostclose",
+	Doc: "flag dropped errors from Close/Sync/Flush calls and closeable handles that are " +
+		"neither closed nor escape; use `_ = f.Close()` for deliberate drops on error paths",
+	Run: run,
+}
+
+// droppedNames are the methods whose bare-statement error drop is flagged.
+var droppedNames = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// releaseNames are method calls that count as releasing a tracked handle.
+var releaseNames = map[string]bool{
+	"Close": true, "Release": true, "Unmap": true, "Shutdown": true, "Stop": true, "Cleanup": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		if stmt, ok := n.(*ast.ExprStmt); ok {
+			checkDropped(pass, stmt)
+		}
+	})
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLeaks(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDropped flags `x.Close()` (or Sync/Flush) as a bare statement: the
+// error result vanishes without even an explicit discard.
+func checkDropped(pass *analysis.Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !droppedNames[fn.Name()] || !isNiladicErrorMethod(fn) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s is dropped; on the sketch/checkpoint/spill paths this hides torn writes — handle it, or write `_ = %s` to drop it explicitly", callLabel(call, fn), callLabel(call, fn))
+}
+
+// isNiladicErrorMethod reports whether fn is a method of the shape
+// `func() error`.
+func isNiladicErrorMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+// callLabel renders "f.Close()" for diagnostics.
+func callLabel(call *ast.CallExpr, fn *types.Func) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return id.Name + "." + fn.Name() + "()"
+		}
+	}
+	return fn.Name() + "()"
+}
+
+// handle tracks one closeable local between its creation and the end of the
+// enclosing function body.
+type handle struct {
+	name     string
+	pos      token.Pos
+	released bool
+	escapes  bool
+}
+
+// checkLeaks runs the never-closed-never-escapes analysis over one function
+// body. The classification is deliberately conservative: any use that is not
+// a plain method call counts as an escape, so only handles that demonstrably
+// go nowhere are reported.
+func checkLeaks(pass *analysis.Pass, body *ast.BlockStmt) {
+	handles := map[types.Object]*handle{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		if _, ok := asg.Rhs[0].(*ast.CallExpr); !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if hasCloseMethod(obj.Type()) {
+				handles[obj] = &handle{name: id.Name, pos: id.Pos()}
+			}
+		}
+		return true
+	})
+	if len(handles) == 0 {
+		return
+	}
+
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		h := handles[obj]
+		if h == nil {
+			return true
+		}
+		switch classifyUse(stack) {
+		case useRelease:
+			h.released = true
+		case useEscape:
+			h.escapes = true
+		}
+		return true
+	})
+
+	for _, h := range handles {
+		if !h.released && !h.escapes {
+			pass.Reportf(h.pos, "%s is never closed and never escapes this function; close it (or defer its release) so file handles and mappings are not leaked", h.name)
+		}
+	}
+}
+
+type useKind int
+
+const (
+	usePlain useKind = iota
+	useRelease
+	useEscape
+)
+
+// classifyUse inspects the parent chain of an identifier occurrence (the
+// identifier is stack's last element).
+func classifyUse(stack []ast.Node) useKind {
+	if len(stack) < 2 {
+		return useEscape
+	}
+	parent := stack[len(stack)-2]
+	sel, ok := parent.(*ast.SelectorExpr)
+	if !ok || sel.X != stack[len(stack)-1] {
+		// Return statements, call arguments, composite literals, sends,
+		// address-taking, assignments into other places: the handle reaches
+		// code that may close it.
+		return useEscape
+	}
+	if len(stack) >= 3 {
+		if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+			if releaseNames[sel.Sel.Name] {
+				return useRelease
+			}
+			return usePlain
+		}
+	}
+	// Field access or method value: ambiguous, assume it escapes.
+	return useEscape
+}
+
+// hasCloseMethod reports whether t (or *t) has a Close() error method.
+func hasCloseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}

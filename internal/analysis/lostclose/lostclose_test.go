@@ -1,0 +1,15 @@
+package lostclose_test
+
+import (
+	"testing"
+
+	"imdist/internal/analysis/analysistest"
+	"imdist/internal/analysis/lostclose"
+)
+
+// TestLostclose proves the analyzer flags bare Close/Sync/Flush error drops
+// and never-closed never-escaping handles, while accepting checked closes,
+// deferred closes, explicit `_ =` drops and handles that escape.
+func TestLostclose(t *testing.T) {
+	analysistest.Run(t, lostclose.Analyzer, "lostclose")
+}

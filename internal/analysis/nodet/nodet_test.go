@@ -1,0 +1,27 @@
+package nodet_test
+
+import (
+	"testing"
+
+	"imdist/internal/analysis/analysistest"
+	"imdist/internal/analysis/nodet"
+)
+
+// TestNodet proves the analyzer fires on every nondeterminism source in a
+// package marked //imvet:deterministic.
+func TestNodet(t *testing.T) {
+	analysistest.Run(t, nodet.Analyzer, "nodet")
+}
+
+// TestNodetIgnoresUnmarkedPackages proves packages outside the deterministic
+// set are untouched even when they use every forbidden source.
+func TestNodetIgnoresUnmarkedPackages(t *testing.T) {
+	analysistest.Run(t, nodet.Analyzer, "notdet")
+}
+
+// TestAllowDirective proves //imvet:allow nodet suppresses a diagnostic in
+// both end-of-line and standalone-comment form, that a directive naming a
+// different analyzer does not, and that unannotated lines still fire.
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, nodet.Analyzer, "nodetallow")
+}

@@ -1,0 +1,205 @@
+// Package rngstream implements the imvet analyzer that enforces the
+// per-index rng stream discipline of the parallel sampling engines.
+//
+// Every parallel code path in imdist derives randomness per work *index*
+// (rng.Splitter.Stream(i)), never per worker or per goroutine: that is what
+// makes output independent of scheduling and worker count. A rng.Source (or
+// *math/rand.Rand) captured by a goroutine closure is shared mutable state —
+// a data race and a determinism break at once; a source indexed by the worker
+// id is schedule-dependent even when race-free. rngstream flags both.
+package rngstream
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imdist/internal/analysis"
+)
+
+const (
+	rngPath      = "imdist/internal/rng"
+	parallelPath = "imdist/internal/parallel"
+)
+
+// Analyzer is the rngstream pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngstream",
+	Doc: "flag rng.Source/*rand.Rand values captured by goroutine closures or parallel worker " +
+		"bodies, and sources indexed by worker id; derive per-index streams from rng.Splitter",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				checkClosure(pass, lit, "goroutine closure")
+			}
+		case *ast.CallExpr:
+			if isParallelFor(pass.TypesInfo, n) {
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						checkClosure(pass, lit, "parallel worker body")
+						checkWorkerIndexed(pass, lit)
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// isParallelFor reports whether call invokes parallel.For or
+// parallel.ForCost, the fan-out primitives whose bodies run concurrently.
+func isParallelFor(info *types.Info, call *ast.CallExpr) bool {
+	return analysis.IsPkgFunc(info, call, parallelPath, "For") ||
+		analysis.IsPkgFunc(info, call, parallelPath, "ForCost")
+}
+
+// checkClosure reports any source-typed identifier or selector inside lit
+// whose root object is declared outside it: a captured generator is shared
+// mutable state across concurrently running body invocations.
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, what string) {
+	reported := map[types.Object]bool{}
+	// Field and method names (the .Sel of a selector) are handled through
+	// the SelectorExpr case, which knows the chain's root; skip them in the
+	// bare-identifier case so e.src is reported once, not twice.
+	selNames := map[*ast.Ident]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			selNames[sel.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal's own locals are still "inside" the outer
+			// capture check by position, so keep walking.
+			return true
+		case *ast.Ident:
+			if selNames[n] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil || reported[obj] || !capturedOutside(lit, obj) {
+				return true
+			}
+			if isSourceType(obj.Type()) {
+				reported[obj] = true
+				pass.Reportf(n.Pos(), "rng source %s is captured by %s and shared across concurrent invocations; derive a per-index stream with rng.Splitter.Stream(index) inside the body", n.Name, what)
+			}
+		case *ast.SelectorExpr:
+			t := pass.TypesInfo.Types[n].Type
+			if t == nil || !isSourceType(t) {
+				return true
+			}
+			root := rootIdent(n)
+			if root == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil || reported[obj] || !capturedOutside(lit, obj) {
+				return true
+			}
+			reported[obj] = true
+			pass.Reportf(n.Pos(), "rng source %s reaches into state captured by %s; derive a per-index stream with rng.Splitter.Stream(index) inside the body", exprString(n), what)
+		}
+		return true
+	})
+}
+
+// checkWorkerIndexed flags srcs[worker]-style expressions inside a parallel
+// body: even a race-free per-worker source makes the consumed random
+// sequence depend on which worker ran which index, breaking byte-identical
+// answers across schedules.
+func checkWorkerIndexed(pass *analysis.Pass, lit *ast.FuncLit) {
+	params := lit.Type.Params
+	if params == nil || params.NumFields() == 0 || len(params.List[0].Names) == 0 {
+		return
+	}
+	workerIdent := params.List[0].Names[0]
+	worker := pass.TypesInfo.Defs[workerIdent]
+	if worker == nil {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(idx.Index).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != worker {
+			return true
+		}
+		t := pass.TypesInfo.Types[idx].Type
+		if t != nil && isSourceType(t) {
+			pass.Reportf(idx.Pos(), "rng source indexed by worker id %s: the random sequence then depends on work scheduling; index by the work index via rng.Splitter.Stream instead", id.Name)
+		}
+		return true
+	})
+}
+
+// capturedOutside reports whether obj is declared outside lit (and is a
+// variable — package-level funcs and types are not captures).
+func capturedOutside(lit *ast.FuncLit, obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// isSourceType reports whether t is one of the generator types whose
+// sharing rngstream polices: imdist's rng.Source interface (or any named
+// type implementing it is deliberately NOT matched — interfaces appear at
+// the use sites that matter) and math/rand's generators.
+func isSourceType(t types.Type) bool {
+	if analysis.TypeName(t, rngPath, "Source") ||
+		analysis.TypeName(t, "math/rand", "Rand") ||
+		analysis.TypeName(t, "math/rand", "Source") ||
+		analysis.TypeName(t, "math/rand/v2", "Rand") ||
+		analysis.TypeName(t, "math/rand/v2", "Source") {
+		return true
+	}
+	// Concrete imdist generators (MT19937, Xoshiro) count too: they are the
+	// values a captured rng.Source variable actually holds.
+	if analysis.TypeName(t, rngPath, "MT19937") || analysis.TypeName(t, rngPath, "Xoshiro") {
+		return true
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of a selector chain (the o of
+// o.inner.src), or nil when the chain is rooted in a call or index.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a selector chain for diagnostics without dragging in a
+// printer dependency; non-selector shapes fall back to the leaf name.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if root := rootIdent(x); root != nil {
+			prefix := exprString(x.X)
+			if prefix != "" {
+				return prefix + "." + x.Sel.Name
+			}
+		}
+		return x.Sel.Name
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,15 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"imdist/internal/analysis/analysistest"
+	"imdist/internal/analysis/rngstream"
+)
+
+// TestRngstream proves the analyzer flags sources captured by goroutine
+// closures and parallel worker bodies and sources indexed by worker id,
+// while accepting the per-index Splitter.Stream discipline.
+func TestRngstream(t *testing.T) {
+	analysistest.Run(t, rngstream.Analyzer, "rngstream")
+}

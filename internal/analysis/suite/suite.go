@@ -1,0 +1,22 @@
+// Package suite aggregates the imvet analyzers. It exists so the cmd/imvet
+// driver, the clean-tree test and any future tooling agree on exactly which
+// passes constitute "imvet" without import cycles into the framework.
+package suite
+
+import (
+	"imdist/internal/analysis"
+	"imdist/internal/analysis/lockscope"
+	"imdist/internal/analysis/lostclose"
+	"imdist/internal/analysis/nodet"
+	"imdist/internal/analysis/rngstream"
+)
+
+// Analyzers returns the imvet analyzer suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodet.Analyzer,
+		rngstream.Analyzer,
+		lostclose.Analyzer,
+		lockscope.Analyzer,
+	}
+}

@@ -1,0 +1,112 @@
+// Package lostclose is an imvet fixture for the resource-safety contract:
+// dropped Close/Sync/Flush errors and handles that leak without a release
+// path, next to the accepted idioms (checked close, deferred close,
+// explicit `_ =` drop on an already-failing path, escape to a caller).
+package lostclose
+
+import (
+	"bufio"
+	"os"
+)
+
+// dropped swallows the close error on the failure path without saying so.
+func dropped(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close() // want `error from f\.Close\(\) is dropped`
+		return err
+	}
+	return f.Close()
+}
+
+// droppedSyncFlush loses the two errors that report torn writes.
+func droppedSyncFlush(f *os.File) error {
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString("x"); err != nil {
+		return err
+	}
+	w.Flush() // want `error from w\.Flush\(\) is dropped`
+	f.Sync()  // want `error from f\.Sync\(\) is dropped`
+	return nil
+}
+
+// explicitDrop is the accepted form on an error path that already returns
+// the original error: the drop is visible in the code.
+func explicitDrop(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// deferred is the idiomatic read-path shape.
+func deferred(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// leak opens a file, reads it, and forgets it: no close, no escape.
+func leak(path string) (byte, error) {
+	f, err := os.Open(path) // want `f is never closed and never escapes this function`
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 1)
+	if _, err := f.Read(buf); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+// escapes hands the open handle to the caller, which owns closing it.
+func escapes(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	return f, err
+}
+
+// passedOn hands the handle to another function, which may close it.
+func passedOn(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+func consume(f *os.File) error { return f.Close() }
+
+// mapped mirrors sketchio.MappedSketch: a refcounted handle whose Close
+// releases an mmap. Forgetting it pins the mapping for the process lifetime.
+type mapped struct{}
+
+func (m *mapped) Close() error { return nil }
+func (m *mapped) At(i int) int { return i }
+func openMapped() *mapped      { return &mapped{} }
+
+// leakMapped uses the handle but never releases the mapping.
+func leakMapped() int {
+	m := openMapped() // want `m is never closed and never escapes this function`
+	return m.At(3)
+}
+
+// releasedMapped closes on every path; a *deferred* close is accepted even
+// though its error is unobservable — on the read paths that is the idiom.
+func releasedMapped() int {
+	m := openMapped()
+	defer m.Close()
+	return m.At(3)
+}

@@ -1,0 +1,80 @@
+// Package nodet is an imvet fixture: a package opted into the determinism
+// contract through the directive below, violating it in every way the nodet
+// analyzer knows about.
+//
+//imvet:deterministic
+package nodet
+
+import (
+	"math/rand" // want `import of math/rand \(globally-seeded randomness\) in deterministic package`
+	"os"
+	"sort"
+	"time"
+)
+
+// stamp reads the wall clock: results no longer depend only on the seed.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in deterministic package`
+}
+
+// elapsed embeds a wall-clock read through time.Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since in deterministic package`
+}
+
+// jitter draws from the globally seeded generator; the import diagnostic
+// above already covers the package's presence.
+func jitter() float64 {
+	return rand.Float64()
+}
+
+// fromEnv makes the answer depend on the process environment.
+func fromEnv() string {
+	if v, ok := os.LookupEnv("IMDIST_SEED"); ok { // want `call to os.LookupEnv in deterministic package`
+		return v
+	}
+	return os.Getenv("HOME") // want `call to os.Getenv in deterministic package`
+}
+
+// keys accumulates in randomized map-iteration order.
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map`
+	}
+	return out
+}
+
+// keysSorted is the compliant shape: collect, then sort, or iterate a sorted
+// index. Sorting after a map-order append still needs the allow directive
+// (see the nodetallow fixture); ranging over the sorted slice does not.
+func keysSorted(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map`
+	}
+	sort.Ints(out)
+	return out
+}
+
+// counts writes into a map while ranging over another: map writes keyed by
+// the ranged keys are order-independent, so this is clean.
+func counts(m map[int]string) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = len(v)
+	}
+	return out
+}
+
+// local appends accumulate inside the loop's own scope and are reset per
+// iteration, so ordering cannot leak out.
+func local(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}

@@ -1,0 +1,45 @@
+// Package nodetallow is an imvet fixture for the //imvet:allow directive:
+// the same violations as the nodet fixture, suppressed — except one control
+// line proving the analyzer still fires where no directive applies.
+//
+//imvet:deterministic
+package nodetallow
+
+import (
+	"sort"
+	"time"
+)
+
+// buildStamp is sketch metadata, not answer-affecting state: the canonical
+// kind of vetted exception the directive exists for.
+func buildStamp() int64 {
+	return time.Now().Unix() //imvet:allow nodet — build metadata, not answer-affecting
+}
+
+// standalone-directive form: the comment covers the following line.
+func buildStamp2() int64 {
+	//imvet:allow nodet — build metadata, not answer-affecting
+	return time.Now().Unix()
+}
+
+// wrongName shows that a directive for a different analyzer does not
+// suppress nodet.
+func wrongName() int64 {
+	return time.Now().Unix() //imvet:allow lostclose // want `call to time.Now in deterministic package`
+}
+
+// control proves the analyzer runs in this package at all.
+func control() int64 {
+	return time.Now().Unix() // want `call to time.Now in deterministic package`
+}
+
+// sortedKeys documents the post-sort idiom: the append order is random but
+// sorted away immediately after, which reviewers accept with a justification.
+func sortedKeys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k) //imvet:allow nodet — out is sorted before use below
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,21 @@
+// Package notdet is an imvet fixture: it uses every nondeterminism source
+// nodet knows about, but it is neither in the deterministic package list nor
+// marked //imvet:deterministic — so nodet must stay silent.
+package notdet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func stamp() int64    { return time.Now().UnixNano() }
+func jitter() float64 { return rand.Float64() }
+func fromEnv() string { return os.Getenv("HOME") }
+func keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

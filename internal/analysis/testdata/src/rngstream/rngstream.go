@@ -1,0 +1,75 @@
+// Package rngstream is an imvet fixture violating the per-index rng stream
+// discipline in the three ways the rngstream analyzer detects: a source
+// captured by a goroutine closure, a source captured by a parallel worker
+// body, and per-worker (rather than per-index) sources.
+package rngstream
+
+import (
+	"imdist/internal/parallel"
+	"imdist/internal/rng"
+)
+
+// captured shares one mutable generator across a spawned goroutine and a
+// worker body — a race and a schedule dependency at once.
+func captured(n int) uint64 {
+	src := rng.New(rng.Xoshiro, 1)
+	done := make(chan uint64, 1)
+	go func() {
+		done <- src.Uint64() // want `rng source src is captured by goroutine closure`
+	}()
+	parallel.For(4, n, func(worker, index int) {
+		_ = src.Float64() // want `rng source src is captured by parallel worker body`
+	})
+	return <-done
+}
+
+// engine holds a source in a struct reached from inside the body.
+type engine struct {
+	src rng.Source
+}
+
+func (e *engine) run(n int) {
+	parallel.For(4, n, func(worker, index int) {
+		_ = e.src.Uint64() // want `rng source e\.src reaches into state captured by parallel worker body`
+	})
+}
+
+// perWorker is race-free but schedule-dependent: which worker consumes which
+// index varies run to run, so each generator's sequence does too.
+func perWorker(split rng.Splitter, workers, n int) {
+	srcs := make([]rng.Source, workers)
+	for w := range srcs {
+		srcs[w] = split.Stream(uint64(w))
+	}
+	parallel.For(workers, n, func(worker, index int) {
+		_ = srcs[worker].Uint64() // want `rng source indexed by worker id worker`
+	})
+}
+
+// perIndex is the contract-compliant shape: randomness derived from the work
+// index alone, independent of worker count and scheduling.
+func perIndex(split rng.Splitter, n int) {
+	parallel.For(4, n, func(worker, index int) {
+		src := split.Stream(uint64(index))
+		_ = src.Uint64()
+	})
+}
+
+// splitterCapture is fine: a Splitter is immutable and safe to share; only
+// the Sources it derives are single-goroutine state.
+func splitterCapture(split rng.Splitter, n int) {
+	go func() {
+		_ = split.Stream(0).Uint64()
+	}()
+}
+
+// serial closures (not go statements, not parallel bodies) may use a shared
+// source freely.
+func serial(src rng.Source, xs []float64) {
+	fill := func() {
+		for i := range xs {
+			xs[i] = src.Float64()
+		}
+	}
+	fill()
+}

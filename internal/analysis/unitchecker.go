@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the driver side of `go vet -vettool`: the go command
+// builds each package, writes a JSON "unit config" describing it (files,
+// import map, export-data locations), and invokes the tool as
+//
+//	imvet -V=full              # reported once, for the build cache key
+//	imvet -flags               # flag inventory, for vet flag validation
+//	imvet <unit>.cfg           # one analysis unit
+//
+// x/tools ships this as go/analysis/unitchecker; imdist re-implements the
+// protocol on the stdlib so the module stays dependency-free. Facts are not
+// supported — every imvet analyzer is single-package — which lets dependency
+// units (VetxOnly) return immediately instead of re-type-checking the world.
+
+// unitConfig mirrors the JSON unit config written by the go command
+// (cmd/go/internal/work's vet config). Unused fields are accepted and
+// ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain is the entry point of a vettool built from this framework. It
+// handles the go vet protocol when invoked with a *.cfg argument and
+// otherwise behaves as a standalone checker over `go list` patterns
+// (`imvet ./...`), which is the form used for local runs and debugging.
+func VetMain(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	exit := func(code int) { os.Exit(code) }
+
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion(progname)
+			exit(0)
+		case args[0] == "-V":
+			fmt.Printf("%s version devel\n", progname)
+			exit(0)
+		case args[0] == "-flags":
+			printFlagDefs()
+			exit(0)
+		case args[0] == "help", args[0] == "-h", args[0] == "-help", args[0] == "--help":
+			printHelp(progname, analyzers)
+			exit(0)
+		}
+	}
+	if len(args) == 0 {
+		printHelp(progname, analyzers)
+		exit(2)
+	}
+
+	// Unit-config mode: `go vet -vettool` passes exactly one *.cfg path.
+	if strings.HasSuffix(args[0], ".cfg") {
+		code, err := runUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			exit(1)
+		}
+		exit(code)
+	}
+
+	// Standalone mode: treat the arguments as go list patterns.
+	pkgs, err := Load(".", args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		exit(1)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			exit(1)
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if found {
+		exit(1)
+	}
+	exit(0)
+}
+
+// runUnit analyzes one go vet unit. The returned exit code follows the
+// unitchecker convention: 0 clean, 2 diagnostics reported.
+func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// Dependency units exist only to propagate facts, which imvet does not
+	// use; test-variant units re-present the same production files plus
+	// _test.go files the contracts deliberately exempt. Both produce an
+	// empty facts file and succeed immediately.
+	if cfg.VetxOnly || strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0, writeVetx(cfg.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx(cfg.VetxOutput)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in unit %s", path, cfg.ImportPath)
+		}
+		return os.Open(file)
+	}
+	tpkg, info, err := typeCheck(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg.VetxOutput)
+		}
+		return 0, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	pkg := &Package{PkgPath: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// writeVetx writes the (empty — imvet has no facts) serialized-facts file
+// the go command expects every unit to produce for its action cache.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte{}, 0o666)
+}
+
+// printVersion responds to `-V=full`, which the go command runs once to key
+// its build cache on the tool's identity. The expected shape is
+// "<name> version <semver-or-devel> ... buildID=<content id>"; hashing the
+// executable makes rebuilt tools invalidate stale vet results.
+func printVersion(progname string) {
+	var id string
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", h[:12])
+		}
+	}
+	if id == "" {
+		id = "unknown"
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, id)
+}
+
+// printFlagDefs responds to `-flags`: a JSON inventory the go command uses
+// to validate pass-through vet flags. imvet currently exposes none.
+func printFlagDefs() {
+	fmt.Println("[]")
+}
+
+func printHelp(progname string, analyzers []*Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: imdist's project-specific static-analysis suite\n\n", progname)
+	fmt.Fprintf(os.Stderr, "usage:\n")
+	fmt.Fprintf(os.Stderr, "  go vet -vettool=$(command -v %s) ./...   # as a vet tool\n", progname)
+	fmt.Fprintf(os.Stderr, "  %s ./...                                 # standalone\n\n", progname)
+	fmt.Fprintf(os.Stderr, "analyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+}
