@@ -376,16 +376,16 @@ func OpenCheckpoint(path string, meta CheckpointMeta) (*Checkpointer, [][]graph.
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	if st.Size() == 0 {
 		if _, err := f.Write(encodeCheckpointHeader(meta)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		return &Checkpointer{f: f, meta: meta}, nil, nil
@@ -394,16 +394,16 @@ func OpenCheckpoint(path string, meta CheckpointMeta) (*Checkpointer, [][]graph.
 	br := bufio.NewReaderSize(f, 1<<16)
 	hdr := make([]byte, headerLen)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, readErr(err)
 	}
 	got, err := parseCheckpointHeader(hdr)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	if got != meta {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, fmt.Errorf("%w: file records model=%v seed=%d n=%d graph=%016x, build is model=%v seed=%d n=%d graph=%016x",
 			ErrCheckpointMeta, got.Model, got.Seed, got.N, got.GraphHash, meta.Model, meta.Seed, meta.N, meta.GraphHash)
 	}
@@ -420,7 +420,7 @@ func OpenCheckpoint(path string, meta CheckpointMeta) (*Checkpointer, [][]graph.
 			// (every earlier segment passed its CRC), and the deterministic
 			// build regenerates whatever was lost.
 			if terr := f.Truncate(off); terr != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, nil, terr
 			}
 			break
@@ -429,7 +429,7 @@ func OpenCheckpoint(path string, meta CheckpointMeta) (*Checkpointer, [][]graph.
 		off += size
 	}
 	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	return &Checkpointer{f: f, meta: meta, sets: len(sets)}, sets, nil

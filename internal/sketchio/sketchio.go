@@ -148,7 +148,7 @@ func WriteFile(path string, o *core.Oracle) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := Encode(tmp, o); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {

@@ -115,17 +115,17 @@ func OpenSpillStore(path string, meta CheckpointMeta, budget int64) (*SpillStore
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	s := &SpillStore{f: f, path: path, meta: meta, budget: budget, cache: make(map[int]*spillCacheEntry)}
 	if st.Size() == 0 {
 		if _, err := f.Write(encodeCheckpointHeader(meta)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		s.size = headerLen
@@ -135,16 +135,16 @@ func OpenSpillStore(path string, meta CheckpointMeta, budget int64) (*SpillStore
 	br := bufio.NewReaderSize(f, 1<<16)
 	hdr := make([]byte, headerLen)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, readErr(err)
 	}
 	got, err := parseCheckpointHeader(hdr)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if got != meta {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: file records model=%v seed=%d n=%d graph=%016x, build is model=%v seed=%d n=%d graph=%016x",
 			ErrCheckpointMeta, got.Model, got.Seed, got.N, got.GraphHash, meta.Model, meta.Seed, meta.N, meta.GraphHash)
 	}
@@ -160,7 +160,7 @@ func OpenSpillStore(path string, meta CheckpointMeta, budget int64) (*SpillStore
 			// Torn or corrupt tail from a crash mid-append: drop it, the
 			// deterministic build regenerates whatever was lost.
 			if terr := f.Truncate(off); terr != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, terr
 			}
 			break
@@ -172,7 +172,7 @@ func OpenSpillStore(path string, meta CheckpointMeta, budget int64) (*SpillStore
 		off += size
 	}
 	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	s.size = off
@@ -418,7 +418,7 @@ func BuildSpill(ctx context.Context, path string, ig *graph.InfluenceGraph, mode
 	}
 	b, err := core.NewSketchBuilderFromStore(ig, model, workers, seed, store)
 	if err != nil {
-		store.Close()
+		_ = store.Close()
 		return nil, nil, core.BuildResult{}, err
 	}
 	if target.MaxBatch < 1 || target.MaxBatch > DefaultSpillMaxBatch {
