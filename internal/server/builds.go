@@ -460,7 +460,7 @@ func (m *buildManager) executeBuild(ctx context.Context, job *buildJob) error {
 			// The oracle below reads through the store, so it closes only
 			// after the sketch file is written; then the spill file goes too.
 			defer func() {
-				store.Close()
+				_ = store.Close()
 				os.Remove(spillPath)
 			}()
 		}
