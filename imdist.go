@@ -795,17 +795,17 @@ func (n *InfluenceNetwork) BuildSketchWithCheckpoint(ctx context.Context, path s
 		b, store, res, err := sketchio.BuildSpill(ctx, path, n.ig, m, opt.Workers, opt.Seed, bopt.MemBudget, bopt.coreTarget())
 		if err != nil {
 			if store != nil {
-				store.Close()
+				_ = store.Close()
 			}
 			return nil, toSummary(res), err
 		}
 		if err := applyBuilderKernel(b, opt.Kernel); err != nil {
-			store.Close()
+			_ = store.Close()
 			return nil, toSummary(res), err
 		}
 		o, err := b.Oracle()
 		if err != nil {
-			store.Close()
+			_ = store.Close()
 			return nil, toSummary(res), err
 		}
 		return &InfluenceOracle{o: o}, toSummary(res), nil
