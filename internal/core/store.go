@@ -100,7 +100,11 @@ func (s *MemStore) NumSets() int {
 func (s *MemStore) Set(i int) []graph.VertexID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.sets[i]
+	// The RRStore contract (above) makes this zero-copy read safe: sets are
+	// append-only and immutable once Append returns, and callers are bound
+	// to read-only use. Copying here would put an allocation on the hottest
+	// query path for nothing.
+	return s.sets[i] //imvet:allow lockscope — RRStore contract: sets are immutable, callers read-only
 }
 
 // Append adds batch after the existing sets, taking ownership.
