@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"imdist/internal/analysis"
+	"imdist/internal/analysis/suite"
+)
+
+// TestRepositoryIsClean runs the full imvet suite over every package in the
+// module and requires zero diagnostics: the same gate CI applies through
+// `go vet -vettool`, enforced here so a plain `go test ./...` catches a new
+// contract violation even before the lint job runs. testdata fixtures are
+// outside ./... by construction, so the deliberate violations stay invisible.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	cmd := exec.Command("go", "list", "-f", "{{.Dir}}", "imdist")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("locating module root: %v\n%s", err, stderr.String())
+	}
+	root := strings.TrimSpace(stdout.String())
+
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, suite.Analyzers())
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}
