@@ -1,3 +1,10 @@
 module imdist
 
 go 1.24
+
+// imvet is the project's own static-analysis suite (see docs/ANALYSIS.md);
+// the tool directive makes `go tool imvet ./...` work out of the box.
+// Third-party lint tools (staticcheck, govulncheck) are pinned in the
+// separate tools/ module so this module keeps zero external dependencies
+// and builds fully offline.
+tool imdist/cmd/imvet

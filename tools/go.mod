@@ -1,0 +1,25 @@
+// Module imdist/tools pins the third-party build-time tools the CI lint job
+// runs (Go 1.24 tool directives), replacing the old `go install tool@version`
+// at run time. It is a separate module on purpose: the main imdist module has
+// zero external dependencies and must build fully offline, while these tools
+// pull in large dependency trees.
+//
+// go.sum is intentionally not committed: it cannot be produced in the
+// offline development environment. Versions are pinned below; CI runs
+// `go mod tidy` in this directory first, which resolves the transitive
+// graph and verifies every download against the Go checksum database
+// (sum.golang.org), then installs with `go install <pkg>` at exactly the
+// pinned versions. See .github/workflows/ci.yml and docs/ANALYSIS.md.
+module imdist/tools
+
+go 1.24
+
+tool (
+	golang.org/x/vuln/cmd/govulncheck
+	honnef.co/go/tools/cmd/staticcheck
+)
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)
