@@ -51,8 +51,24 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	allow directiveIndex
-	diags *[]Diagnostic
+	allow  directiveIndex
+	diags  *[]Diagnostic
+	shared map[any]any
+}
+
+// Shared returns the package-scoped value for key, computing and caching it
+// on first use. The cache lives for one RunAnalyzers call over one package
+// and is shared by every analyzer in the suite: the dataflow layer
+// (internal/analysis/dataflow) stores its function index, CFGs and call graph
+// under a private key here, so seven analyzers pay for one construction.
+// Analyzers run sequentially over a package, so no locking is needed.
+func (p *Pass) Shared(key any, compute func() any) any {
+	if v, ok := p.shared[key]; ok {
+		return v
+	}
+	v := compute()
+	p.shared[key] = v
+	return v
 }
 
 // A Diagnostic is one reported invariant violation.
@@ -136,6 +152,7 @@ func (p *Pass) HasPackageDirective(name string) bool {
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	allow := indexDirectives(pkg.Fset, pkg.Files)
+	shared := map[any]any{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -145,6 +162,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			TypesInfo: pkg.TypesInfo,
 			allow:     allow,
 			diags:     &diags,
+			shared:    shared,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)

@@ -1,0 +1,382 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: a maximal straight-line sequence of statements
+// and branch conditions, executed in order, ending where control may split.
+type Block struct {
+	// Nodes are the statements and condition expressions executed in this
+	// block, in source order. Composite statements whose bodies the CFG
+	// splits into their own blocks (range and select) appear here as the
+	// header node only; use ShallowNodes to walk a node without descending
+	// into such bodies or into function literals.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to next.
+	Succs []*Block
+	// Index is the block's position in CFG.Blocks.
+	Index int
+}
+
+// A CFG is the control-flow graph of one function body. It models
+// structured control flow (if/for/range/switch/type switch/select,
+// break/continue/goto/fallthrough, return); panics and runtime exits are not
+// modeled. Function literals are opaque: their bodies are not part of the
+// enclosing function's graph.
+type CFG struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the synthetic block every return and the fall-off-the-end path
+	// feed into. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, entry first, in construction order (which
+	// follows source order closely enough for deterministic replays).
+	Blocks []*Block
+
+	conds map[ast.Node]bool
+}
+
+// IsCond reports whether n is recorded as a branch condition (an if or for
+// condition, a switch tag, or a case expression): the program points where a
+// comparison can sanitize a tainted value.
+func (g *CFG) IsCond(n ast.Node) bool { return g.conds[n] }
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{conds: map[ast.Node]bool{}}
+	b := &cfgBuilder{g: g, gotos: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.exit = g.Exit
+	b.cur = g.Entry
+	b.stmt(body)
+	b.link(b.cur, b.exit)
+	return g
+}
+
+// ShallowNodes calls fn for n and each descendant that executes as part of
+// n's basic-block slot. It does not descend into function literals (their
+// bodies run elsewhere) nor into the bodies of range and select statements
+// (the CFG gives those their own blocks).
+func ShallowNodes(n ast.Node, fn func(ast.Node)) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		fn(n)
+		if n.Key != nil {
+			ShallowNodes(n.Key, fn)
+		}
+		if n.Value != nil {
+			ShallowNodes(n.Value, fn)
+		}
+		ShallowNodes(n.X, fn)
+		return
+	case *ast.SelectStmt:
+		fn(n)
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if lit, ok := c.(*ast.FuncLit); ok {
+			fn(lit)
+			return false
+		}
+		fn(c)
+		return true
+	})
+}
+
+// scope is one enclosing breakable statement (loop, switch or select) during
+// construction; loops additionally carry a continue target.
+type scope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block
+	exit   *Block
+	scopes []scope
+	gotos  map[string]*Block // label → landing block (created on demand)
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// startFrom creates a block with edges from each non-nil pred.
+func (b *cfgBuilder) startFrom(preds ...*Block) *Block {
+	blk := b.newBlock()
+	for _, p := range preds {
+		if p != nil {
+			b.link(p, blk)
+		}
+	}
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) cond(e ast.Expr) {
+	if e != nil {
+		b.g.conds[e] = true
+		b.cur.Nodes = append(b.cur.Nodes, e)
+	}
+}
+
+// dead parks the builder on a fresh predecessor-less block, for the
+// unreachable code after a return/break/continue/goto.
+func (b *cfgBuilder) dead() { b.cur = b.newBlock() }
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		b.labeled(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.exit)
+		b.dead()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.EmptyStmt:
+	default:
+		// Assignments, declarations, expression/send/inc-dec/go/defer
+		// statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// labeled handles a labeled statement: it is a goto landing point, and if it
+// wraps a breakable statement the label names that statement's scope.
+func (b *cfgBuilder) labeled(s *ast.LabeledStmt) {
+	landing := b.startFrom(b.cur)
+	if placeholder, ok := b.gotos[s.Label.Name]; ok {
+		b.link(placeholder, landing)
+	}
+	b.gotos[s.Label.Name] = landing
+	b.cur = landing
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.stmt(s.Init)
+	b.cond(s.Cond)
+	condBlk := b.cur
+	b.cur = b.startFrom(condBlk)
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	if s.Else != nil {
+		b.cur = b.startFrom(condBlk)
+		b.stmt(s.Else)
+		b.cur = b.startFrom(thenEnd, b.cur)
+	} else {
+		b.cur = b.startFrom(thenEnd, condBlk)
+	}
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	b.stmt(s.Init)
+	head := b.startFrom(b.cur)
+	b.cur = head
+	b.cond(s.Cond)
+	post := b.newBlock()
+	join := b.newBlock()
+	b.cur = b.startFrom(head)
+	b.scopes = append(b.scopes, scope{label: label, breakTo: join, continueTo: post})
+	b.stmt(s.Body)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.link(b.cur, post)
+	b.cur = post
+	b.add(s.Post)
+	b.link(post, head)
+	if s.Cond != nil {
+		b.link(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.startFrom(b.cur)
+	b.cur = head
+	// The RangeStmt node itself stands for the per-iteration step: evaluate
+	// X (once, but modeled here), assign Key/Value. ShallowNodes keeps
+	// clients out of its Body.
+	b.add(s)
+	join := b.newBlock()
+	b.cur = b.startFrom(head)
+	b.scopes = append(b.scopes, scope{label: label, breakTo: join, continueTo: head})
+	b.stmt(s.Body)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.link(b.cur, head)
+	b.link(head, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	b.stmt(s.Init)
+	b.cond(s.Tag)
+	b.caseClauses(s.Body, label, true)
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	b.stmt(s.Init)
+	b.add(s.Assign)
+	b.caseClauses(s.Body, label, false)
+}
+
+// caseClauses builds the clause blocks of a switch or type switch whose
+// head is the current block. withFallthrough enables fallthrough edges
+// (expression switches only).
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, label string, withFallthrough bool) {
+	head := b.cur
+	join := b.newBlock()
+	bodies := make([]*Block, len(body.List))
+	hasDefault := false
+	for i := range body.List {
+		bodies[i] = b.startFrom(head)
+	}
+	b.scopes = append(b.scopes, scope{label: label, breakTo: join})
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.cond(e)
+		}
+		stmts := cc.Body
+		fallsThrough := false
+		if withFallthrough && len(stmts) > 0 {
+			if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:len(stmts)-1]
+			}
+		}
+		for _, st := range stmts {
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.link(b.cur, bodies[i+1])
+		} else {
+			b.link(b.cur, join)
+		}
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	if !hasDefault {
+		b.link(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	// The SelectStmt node is the blocking point; each comm clause gets its
+	// own block holding the comm statement and body.
+	b.add(s)
+	head := b.cur
+	join := b.newBlock()
+	b.scopes = append(b.scopes, scope{label: label, breakTo: join})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		b.cur = b.startFrom(head)
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.link(b.cur, join)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK, token.CONTINUE:
+		if target := b.branchTarget(s.Tok, label); target != nil {
+			b.link(b.cur, target)
+		}
+		b.dead()
+	case token.GOTO:
+		target, ok := b.gotos[label]
+		if !ok {
+			// Forward goto: create a placeholder the label will adopt.
+			target = b.newBlock()
+			b.gotos[label] = target
+		}
+		b.link(b.cur, target)
+		b.dead()
+	case token.FALLTHROUGH:
+		// Handled by caseClauses; one reaching stmt() directly (invalid
+		// code) is ignored.
+	}
+}
+
+func (b *cfgBuilder) branchTarget(tok token.Token, label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if label != "" && sc.label != label {
+			continue
+		}
+		if tok == token.BREAK {
+			return sc.breakTo
+		}
+		if sc.continueTo != nil {
+			return sc.continueTo
+		}
+		if label != "" {
+			return nil // labeled continue on a non-loop: invalid code
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+// Package dataflow is the shared flow-sensitive layer under the imvet
+// analyzer suite: a per-function control-flow graph over go/ast, a forward
+// taint-propagation engine over that CFG, and a conservative intra-package
+// call graph, all built once per package and shared by every analyzer
+// through analysis.Pass.Shared.
+//
+// The syntactic analyzers of PR 8 (nodet, rngstream, lostclose, lockscope)
+// could pattern-match single statements; the invariants added on top of this
+// layer — untrusted decoded lengths must be bounds-checked before they size
+// an allocation (taintlen), request/build contexts must be threaded and
+// polled (ctxflow), and mutexes must be acquired in a consistent order and
+// never held across blocking calls (lockorder) — are properties of *paths*,
+// not statements, and need the flow-sensitive machinery here.
+//
+// Precision contract (also documented in docs/ANALYSIS.md): the layer is
+// deliberately conservative and intra-package.
+//
+//   - The call graph resolves static calls only (direct function and method
+//     calls, via types.Info.Uses). Calls through interfaces, function values
+//     and function fields are unresolved: analyzers must treat them as
+//     "could do anything" or "does nothing", whichever direction is
+//     conservative for their invariant.
+//   - Function literals do not get their own CFG; their bodies are
+//     attributed to the enclosing declaration for summary purposes (what a
+//     function *may* acquire or call) but are not inlined into its CFG (when
+//     a closure actually runs is unknown).
+//   - Taint propagation is per-function, extended across in-package calls
+//     only through per-result return summaries computed to a fixed point.
+//     Taint entering a callee through an argument is not tracked.
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imdist/internal/analysis"
+)
+
+// A Func is one function or method declaration with a body, the unit of
+// dataflow analysis.
+type Func struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// Name returns a diagnostic-friendly name: "Type.Method" for methods,
+// "Func" otherwise.
+func (f *Func) Name() string {
+	if f.Decl.Recv != nil {
+		if recv := f.Obj.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + f.Obj.Name()
+			}
+		}
+	}
+	return f.Obj.Name()
+}
+
+// Info is the dataflow view of one package: its function index, lazily built
+// CFGs, and the conservative intra-package call graph.
+type Info struct {
+	Pass *analysis.Pass
+	// Funcs lists every function and method declaration with a body from the
+	// package's non-test files, in file/source order (deterministic).
+	Funcs []*Func
+	// ByObj maps the type-checker's object for a declaration back to it.
+	ByObj map[*types.Func]*Func
+
+	cfgs    map[*Func]*CFG
+	callees map[*Func][]*Func
+}
+
+type infoKey struct{}
+
+// PackageInfo returns the package's dataflow Info, building it on first use
+// and caching it on the Pass so all analyzers in a suite run share one copy.
+func PackageInfo(pass *analysis.Pass) *Info {
+	return pass.Shared(infoKey{}, func() any {
+		in := &Info{
+			Pass:    pass,
+			ByObj:   map[*types.Func]*Func{},
+			cfgs:    map[*Func]*CFG{},
+			callees: map[*Func][]*Func{},
+		}
+		for _, f := range pass.SourceFiles() {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &Func{Decl: fd, Obj: obj}
+				in.Funcs = append(in.Funcs, fn)
+				in.ByObj[obj] = fn
+			}
+		}
+		return in
+	}).(*Info)
+}
+
+// CFG returns fn's control-flow graph, built on first use.
+func (in *Info) CFG(fn *Func) *CFG {
+	g, ok := in.cfgs[fn]
+	if !ok {
+		g = NewCFG(fn.Decl.Body)
+		in.cfgs[fn] = g
+	}
+	return g
+}
+
+// Callees returns the in-package functions fn may call, in first-call-site
+// order, deduplicated. Calls made inside function literals declared in fn
+// are attributed to fn (the closure may run under fn's locks or on fn's
+// path; attributing them here is the conservative choice for summaries).
+// Calls through function values and interfaces resolve to nothing.
+func (in *Info) Callees(fn *Func) []*Func {
+	if out, ok := in.callees[fn]; ok {
+		return out
+	}
+	var out []*Func
+	seen := map[*Func]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := analysis.CalleeFunc(in.Pass.TypesInfo, call)
+		if obj == nil {
+			return true
+		}
+		if callee, ok := in.ByObj[obj]; ok && !seen[callee] {
+			seen[callee] = true
+			out = append(out, callee)
+		}
+		return true
+	})
+	in.callees[fn] = out
+	return out
+}
+
+// Inspect walks every function body in the index (in file/source order) and
+// then every package-level non-function declaration (var/const initializers
+// can hold function literals and calls), invoking visit as ast.Inspect does.
+// It is the Preorder analog for analyzers ported onto the dataflow layer:
+// the same traversal convention everywhere, plus attribution — fn is the
+// enclosing declaration for body nodes and nil for package-level ones.
+func (in *Info) Inspect(visit func(fn *Func, n ast.Node) bool) {
+	for _, fn := range in.Funcs {
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool { return visit(fn, n) })
+	}
+	for _, f := range in.Pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			if _, ok := decl.(*ast.FuncDecl); ok {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool { return visit(nil, n) })
+		}
+	}
+}
+
+// ReachableFrom computes the set of functions reachable from roots over the
+// intra-package call graph (roots included). The returned map gives, for
+// each reachable function, the root it was first reached from, following
+// breadth-first order over the deterministic Funcs/Callees ordering — so
+// diagnostics can name a concrete entry point.
+func (in *Info) ReachableFrom(roots []*Func) map[*Func]*Func {
+	from := map[*Func]*Func{}
+	queue := make([]*Func, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := from[r]; ok {
+			continue
+		}
+		from[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range in.Callees(fn) {
+			if _, ok := from[callee]; ok {
+				continue
+			}
+			from[callee] = from[fn]
+			queue = append(queue, callee)
+		}
+	}
+	return from
+}

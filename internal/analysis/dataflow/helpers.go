@@ -1,0 +1,83 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imdist/internal/analysis"
+)
+
+// RootIdent returns the leftmost identifier of a selector chain (the o of
+// o.inner.src), unwrapping dereferences, or nil when the chain is rooted in
+// a call or index expression. Shared by rngstream (capture roots), lockscope
+// and lockorder (receiver-field paths).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ExprString renders a selector chain for diagnostics without dragging in a
+// printer dependency; non-selector shapes fall back to the leaf name.
+func ExprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if root := RootIdent(x); root != nil {
+			if prefix := ExprString(x.X); prefix != "" {
+				return prefix + "." + x.Sel.Name
+			}
+		}
+		return x.Sel.Name
+	default:
+		return ""
+	}
+}
+
+// IsMutexType reports whether t (after pointer indirection) is sync.Mutex or
+// sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	return analysis.TypeName(t, "sync", "Mutex") || analysis.TypeName(t, "sync", "RWMutex")
+}
+
+// HoldsMutex reports whether t (after pointer indirection) is a struct type
+// with a direct sync.Mutex or sync.RWMutex field. It is how lockscope and
+// lockorder recognize the repo's guarded containers (Registry, buildManager,
+// MemStore, SpillStore, …).
+func HoldsMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if IsMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedTypeName returns the bare name of e's named type after pointer
+// indirection (e.g. "Registry" for a *server.Registry expression), or "".
+func NamedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,480 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imdist/internal/analysis"
+)
+
+// A TaintKey identifies one tainted storage location: a local or package
+// variable, or (Field != "") one named field of a struct variable addressed
+// through it.
+type TaintKey struct {
+	Obj   types.Object
+	Field string
+}
+
+// A Taint is one configured forward taint propagation. The lattice per
+// location is two-point (clean < tainted); the per-program-point state is
+// the set of tainted TaintKeys, joined by union at control-flow merges.
+// Taint is introduced by Sources, propagated through assignments and
+// arithmetic, and killed when the value is *compared* — any appearance of a
+// location (possibly under conversions) as an operand of ==, !=, <, <=, >,
+// >= in a branch condition, switch tag or case expression sanitizes it on
+// all outgoing paths. That matches the hostile-input idiom: a decoded count
+// checked against a bound (in either direction, on either branch) has been
+// looked at; one that never was has not.
+type Taint struct {
+	Info *types.Info
+	// Sources reports, per result, whether call introduces taint
+	// (nil: the call is not a source).
+	Sources func(call *ast.CallExpr) []bool
+	// Summaries maps in-package functions to per-result taint, letting taint
+	// flow through `n := readCount(r)`-style helpers. Computed to a fixed
+	// point by AnalyzeAll.
+	Summaries map[*types.Func][]bool
+}
+
+// A TaintState is the set of tainted locations at one program point,
+// presented to Analyze's visit callback.
+type TaintState struct {
+	t *Taint
+	m map[TaintKey]bool
+}
+
+// Tainted reports whether expression e evaluates to a tainted value under
+// this state.
+func (s *TaintState) Tainted(e ast.Expr) bool { return s.t.tainted(e, s.m) }
+
+// AnalyzeAll runs taint propagation over every function of in, computing
+// cross-function return summaries to a fixed point, then replays each
+// function once with visit (called for every block node with the state in
+// effect *before* the node executes). The fixed point terminates because
+// summaries only ever go from clean to tainted.
+func (t *Taint) AnalyzeAll(in *Info, visit func(fn *Func, n ast.Node, s *TaintState)) {
+	if t.Summaries == nil {
+		t.Summaries = map[*types.Func][]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range in.Funcs {
+			ret := t.Analyze(fn, in.CFG(fn), nil)
+			if !equalBools(t.Summaries[fn.Obj], ret) {
+				t.Summaries[fn.Obj] = ret
+				changed = true
+			}
+		}
+	}
+	if visit != nil {
+		for _, fn := range in.Funcs {
+			t.Analyze(fn, in.CFG(fn), func(n ast.Node, s *TaintState) { visit(fn, n, s) })
+		}
+	}
+}
+
+// Analyze propagates taint over g to a fixed point and returns, per result
+// of fn, whether any return statement may yield a tainted value. If visit is
+// non-nil the stable solution is replayed once in block order, calling visit
+// for each node with the state before its transfer.
+func (t *Taint) Analyze(fn *Func, g *CFG, visit func(n ast.Node, s *TaintState)) []bool {
+	in := make([]map[TaintKey]bool, len(g.Blocks))
+	in[g.Entry.Index] = map[TaintKey]bool{}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := cloneTaint(in[blk.Index])
+		for _, n := range blk.Nodes {
+			t.transfer(n, st, g)
+		}
+		for _, succ := range blk.Succs {
+			if in[succ.Index] == nil {
+				in[succ.Index] = cloneTaint(st)
+				work = append(work, succ)
+			} else if unionInto(in[succ.Index], st) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	retTaint := make([]bool, numResults(fn.Decl))
+	for _, blk := range g.Blocks {
+		if in[blk.Index] == nil {
+			continue // unreachable
+		}
+		st := cloneTaint(in[blk.Index])
+		for _, n := range blk.Nodes {
+			if visit != nil {
+				visit(n, &TaintState{t, st})
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				t.recordReturn(ret, fn.Decl, st, retTaint)
+			}
+			t.transfer(n, st, g)
+		}
+	}
+	return retTaint
+}
+
+// transfer applies one node's effect to st.
+func (t *Taint) transfer(n ast.Node, st map[TaintKey]bool, g *CFG) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(n, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				t.declAssign(vs, st)
+			}
+		}
+	case *ast.RangeStmt:
+		// Ranging over a tainted collection taints the iteration variables.
+		if n.X != nil && t.tainted(n.X, st) {
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if lhs != nil {
+					t.setLhs(lhs, true, st)
+				}
+			}
+		}
+	}
+	if expr, ok := n.(ast.Expr); ok && g.IsCond(n) {
+		t.sanitize(expr, st)
+	}
+}
+
+func (t *Taint) assign(a *ast.AssignStmt, st map[TaintKey]bool) {
+	switch {
+	case len(a.Lhs) == len(a.Rhs):
+		for i, lhs := range a.Lhs {
+			t.setLhs(lhs, t.tainted(a.Rhs[i], st), st)
+		}
+	case len(a.Rhs) == 1:
+		// Tuple assignment: a multi-result call, comma-ok map/assert/recv.
+		results := t.tupleTaint(a.Rhs[0], len(a.Lhs), st)
+		for i, lhs := range a.Lhs {
+			t.setLhs(lhs, results[i], st)
+		}
+	}
+}
+
+func (t *Taint) declAssign(vs *ast.ValueSpec, st map[TaintKey]bool) {
+	switch {
+	case len(vs.Values) == len(vs.Names):
+		for i, name := range vs.Names {
+			t.setIdent(name, t.tainted(vs.Values[i], st), st)
+		}
+	case len(vs.Values) == 1 && len(vs.Names) > 1:
+		results := t.tupleTaint(vs.Values[0], len(vs.Names), st)
+		for i, name := range vs.Names {
+			t.setIdent(name, results[i], st)
+		}
+	}
+}
+
+// tupleTaint evaluates a multi-value rhs (call, comma-ok) to per-lhs taint.
+func (t *Taint) tupleTaint(rhs ast.Expr, n int, st map[TaintKey]bool) []bool {
+	out := make([]bool, n)
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if res := t.callTaint(e, st); res != nil {
+			copy(out, res)
+		}
+	case *ast.IndexExpr, *ast.TypeAssertExpr, *ast.UnaryExpr:
+		// v, ok := m[k] / x.(T) / <-ch: value inherits the operand's taint.
+		if n > 0 {
+			out[0] = t.tainted(rhs, st)
+		}
+	}
+	return out
+}
+
+func (t *Taint) setLhs(lhs ast.Expr, taint bool, st map[TaintKey]bool) {
+	if key, ok := t.keyOf(lhs); ok {
+		if taint {
+			st[key] = true
+		} else {
+			delete(st, key)
+		}
+	}
+	// Writes through indexes, pointers or deeper paths have no key:
+	// conservatively dropped (documented imprecision).
+}
+
+func (t *Taint) setIdent(id *ast.Ident, taint bool, st map[TaintKey]bool) {
+	if id.Name == "_" {
+		return
+	}
+	if obj := t.Info.Defs[id]; obj != nil {
+		if taint {
+			st[TaintKey{Obj: obj}] = true
+		} else {
+			delete(st, TaintKey{Obj: obj})
+		}
+	}
+}
+
+// keyOf maps an addressable expression to its TaintKey: `x` or `x.f` (with
+// x an identifier, possibly dereferenced).
+func (t *Taint) keyOf(e ast.Expr) (TaintKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := t.objOf(e); obj != nil {
+			return TaintKey{Obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		x := ast.Unparen(e.X)
+		if star, ok := x.(*ast.StarExpr); ok {
+			x = ast.Unparen(star.X)
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := t.objOf(id); obj != nil {
+				// Only field accesses get a key; method values do not.
+				if sel := t.Info.Selections[e]; sel == nil || sel.Kind() == types.FieldVal {
+					return TaintKey{Obj: obj, Field: e.Sel.Name}, true
+				}
+			}
+		}
+	}
+	return TaintKey{}, false
+}
+
+func (t *Taint) objOf(id *ast.Ident) types.Object {
+	if obj := t.Info.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	if obj := t.Info.Defs[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// tainted reports whether e evaluates to a tainted value under st.
+func (t *Taint) tainted(e ast.Expr, st map[TaintKey]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := t.objOf(e); obj != nil {
+			return st[TaintKey{Obj: obj}]
+		}
+	case *ast.SelectorExpr:
+		if key, ok := t.keyOf(e); ok {
+			if st[key] {
+				return true
+			}
+			// A fully tainted struct variable taints every field.
+			return st[TaintKey{Obj: key.Obj}]
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return false // booleans are not length-taint carriers
+		}
+		return t.tainted(e.X, st) || t.tainted(e.Y, st)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return false
+		}
+		return t.tainted(e.X, st)
+	case *ast.StarExpr:
+		return t.tainted(e.X, st)
+	case *ast.IndexExpr:
+		return t.tainted(e.X, st)
+	case *ast.SliceExpr:
+		return t.tainted(e.X, st)
+	case *ast.TypeAssertExpr:
+		return t.tainted(e.X, st)
+	case *ast.CallExpr:
+		// Conversion: taint passes through.
+		if tv, ok := t.Info.Types[e.Fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				return t.tainted(e.Args[0], st)
+			}
+			return false
+		}
+		// min/max sanitize unless every operand is tainted.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "min" || id.Name == "max") {
+			if _, isBuiltin := t.Info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, arg := range e.Args {
+					if !t.tainted(arg, st) {
+						return false
+					}
+				}
+				return len(e.Args) > 0
+			}
+		}
+		if res := t.callTaint(e, st); len(res) == 1 {
+			return res[0]
+		}
+	}
+	return false
+}
+
+// callTaint resolves a call's per-result taint through Sources and the
+// in-package summaries.
+func (t *Taint) callTaint(call *ast.CallExpr, st map[TaintKey]bool) []bool {
+	if t.Sources != nil {
+		if res := t.Sources(call); res != nil {
+			return res
+		}
+	}
+	if fn := analysis.CalleeFunc(t.Info, call); fn != nil {
+		if res, ok := t.Summaries[fn]; ok {
+			return res
+		}
+	}
+	return nil
+}
+
+// sanitize kills the taint of every location compared in branch condition
+// cond (and of a bare switch tag, which the case expressions compare).
+func (t *Taint) sanitize(cond ast.Expr, st map[TaintKey]bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			t.killOperand(e.X, st)
+			t.killOperand(e.Y, st)
+		case token.LAND, token.LOR:
+			t.sanitize(e.X, st)
+			t.sanitize(e.Y, st)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			t.sanitize(e.X, st)
+		}
+	default:
+		// A switch tag or case expression: the value is being compared.
+		t.killOperand(cond, st)
+	}
+}
+
+// killOperand unwraps conversions, unary arithmetic and dereferences around
+// a compared operand and clears its location's taint.
+func (t *Taint) killOperand(e ast.Expr, st map[TaintKey]bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if tv, ok := t.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return
+		case *ast.UnaryExpr:
+			if x.Op == token.SUB || x.Op == token.ADD || x.Op == token.XOR {
+				e = x.X
+				continue
+			}
+			return
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		default:
+			if key, ok := t.keyOf(ast.Unparen(e)); ok {
+				delete(st, key)
+			}
+			return
+		}
+	}
+}
+
+func (t *Taint) recordReturn(ret *ast.ReturnStmt, decl *ast.FuncDecl, st map[TaintKey]bool, retTaint []bool) {
+	if len(ret.Results) == 0 {
+		// Naked return: evaluate the named results.
+		i := 0
+		if decl.Type.Results == nil {
+			return
+		}
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				if i < len(retTaint) {
+					if obj := t.Info.Defs[name]; obj != nil && st[TaintKey{Obj: obj}] {
+						retTaint[i] = true
+					}
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+		return
+	}
+	if len(ret.Results) == 1 && len(retTaint) > 1 {
+		// return f() forwarding a tuple.
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			if res := t.callTaint(call, st); res != nil {
+				for i := range retTaint {
+					if i < len(res) && res[i] {
+						retTaint[i] = true
+					}
+				}
+			}
+		}
+		return
+	}
+	for i, res := range ret.Results {
+		if i < len(retTaint) && t.tainted(res, st) {
+			retTaint[i] = true
+		}
+	}
+}
+
+func numResults(decl *ast.FuncDecl) int {
+	if decl.Type.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, field := range decl.Type.Results.List {
+		if len(field.Names) == 0 {
+			n++
+		} else {
+			n += len(field.Names)
+		}
+	}
+	return n
+}
+
+func cloneTaint(m map[TaintKey]bool) map[TaintKey]bool {
+	out := make(map[TaintKey]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// unionInto merges src into dst, reporting whether dst grew.
+func unionInto(dst, src map[TaintKey]bool) bool {
+	changed := false
+	for k, v := range src {
+		if v && !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
