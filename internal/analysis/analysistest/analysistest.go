@@ -19,25 +19,42 @@ import (
 	"imdist/internal/analysis"
 )
 
-// Run loads testdata/src/<fixture>, runs the analyzer, and reports any
-// mismatch between produced diagnostics and `// want` expectations as test
-// errors.
+// Run loads testdata/src/<fixture> — the fixture package and any
+// subpackages, so call-graph and lock-order tests can span files and
+// packages — runs the analyzer over each, and reports any mismatch between
+// produced diagnostics and `// want` expectations as test errors.
 func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
 	t.Helper()
+	RunTags(t, a, fixture)
+}
+
+// RunTags is Run with additional build tags applied while loading the
+// fixture, for expectations that live in tag-gated files. A gated file is
+// invisible (violations and wants both) unless its tag is given.
+func RunTags(t *testing.T, a *analysis.Analyzer, fixture string, tags ...string) {
+	t.Helper()
 	dir := filepath.Join(testDataDir(t), "src", fixture)
-	pkgs, err := analysis.Load(dir, ".")
+	pkgs, err := analysis.LoadTags(dir, tags, "./...")
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: loaded no packages", fixture)
 	}
-	pkg := pkgs[0]
-	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	var expects []*expectation
+	var found []foundDiag
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+		}
+		expects = append(expects, parseExpectations(t, pkg)...)
+		for _, d := range diags {
+			found = append(found, foundDiag{posn: pkg.Fset.Position(d.Pos).String(), d: d,
+				file: pkg.Fset.Position(d.Pos).Filename, line: pkg.Fset.Position(d.Pos).Line})
+		}
 	}
-	check(t, pkg, diags)
+	check(t, expects, found)
 }
 
 // expectation is one `// want` regexp at a file line.
@@ -48,25 +65,31 @@ type expectation struct {
 	met  bool
 }
 
+// foundDiag is one produced diagnostic with its resolved position.
+type foundDiag struct {
+	posn string
+	file string
+	line int
+	d    analysis.Diagnostic
+}
+
 // check matches diagnostics against expectations one-to-one per line.
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+func check(t *testing.T, expects []*expectation, found []foundDiag) {
 	t.Helper()
-	expects := parseExpectations(t, pkg)
-	for _, d := range diags {
-		posn := pkg.Fset.Position(d.Pos)
+	for _, f := range found {
 		matched := false
 		for _, e := range expects {
-			if e.met || e.file != posn.Filename || e.line != posn.Line {
+			if e.met || e.file != f.file || e.line != f.line {
 				continue
 			}
-			if e.re.MatchString(d.Message) {
+			if e.re.MatchString(f.d.Message) {
 				e.met = true
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected diagnostic at %s: [%s] %s", posn, d.Analyzer, d.Message)
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", f.posn, f.d.Analyzer, f.d.Message)
 		}
 	}
 	for _, e := range expects {

@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+
+	"imdist/internal/parallel"
 )
 
 // A Package is one loaded, parsed and type-checked package, ready for
@@ -50,7 +52,18 @@ type listedPackage struct {
 // generation, and the loader only parses and checks the matched packages
 // themselves.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	return LoadTags(dir, nil, patterns...)
+}
+
+// LoadTags is Load with additional build tags applied, used by the
+// analysistest harness for tag-gated fixture files.
+func LoadTags(dir string, tags []string, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-json", "-deps"}
+	if len(tags) > 0 {
+		args = append(args, "-tags", strings.Join(tags, ","))
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -83,13 +96,19 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
-	var pkgs []*Package
-	for _, t := range targets {
-		pkg, err := checkPackage(t, exports)
+	// Parse and type-check the matched packages in parallel: each one checks
+	// against its dependencies' export data only, so the units are
+	// independent. Results land in index-order slots, keeping the returned
+	// slice (and so every downstream diagnostic ordering) deterministic.
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	parallel.For(parallel.Resolve(-1, len(targets)), len(targets), func(_, i int) {
+		pkgs[i], errs[i] = checkPackage(targets[i], exports)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
