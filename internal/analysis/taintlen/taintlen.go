@@ -1,0 +1,151 @@
+// Package taintlen implements the imvet analyzer that machine-checks the
+// sketchio hostile-input contract: every length, count or offset decoded
+// from a sketch, checkpoint or spill file is attacker-controlled until it
+// has been compared against a bound, and must not size an allocation or an
+// index before that.
+//
+// This is the bug class the v1 decoder hardening closed: a header's
+// numSets field flowing straight into `make([][]VertexID, numSets)` turns a
+// 16-byte hostile file into a multi-gigabyte allocation. The analyzer runs
+// the dataflow layer's forward taint propagation per function: calls to
+// encoding/binary's fixed-width and varint decoders introduce taint, any
+// comparison of the value (against anything, in any direction) sanitizes
+// it, and a still-tainted value reaching a `make` size, a slice/array
+// index, a slice-expression bound or an io.CopyN length is a diagnostic.
+// Taint flows through in-package helper returns via fixed-point summaries.
+//
+// Scope: imdist/internal/sketchio (the only package that parses untrusted
+// bytes), plus any package opting in with a //imvet:hostileinput file
+// directive (the fixture mechanism, and the hook for future network decode
+// paths — ROADMAP items 3/5 ship sketches between replicas).
+package taintlen
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imdist/internal/analysis"
+	"imdist/internal/analysis/dataflow"
+)
+
+// hostilePackages always carry the hostile-input contract.
+var hostilePackages = map[string]bool{
+	"imdist/internal/sketchio": true,
+}
+
+// Analyzer is the taintlen pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "taintlen",
+	Doc: "flag lengths/counts decoded from untrusted sketch/checkpoint/spill bytes that reach " +
+		"make, slice/index expressions or io.CopyN before being compared against a bound",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !hostilePackages[pass.Pkg.Path()] && !pass.HasPackageDirective("hostileinput") {
+		return nil
+	}
+	info := dataflow.PackageInfo(pass)
+	t := &dataflow.Taint{
+		Info:    pass.TypesInfo,
+		Sources: decodeSources(pass.TypesInfo),
+	}
+	t.AnalyzeAll(info, func(fn *dataflow.Func, n ast.Node, s *dataflow.TaintState) {
+		checkSinks(pass, n, s)
+	})
+	return nil
+}
+
+// decodeSources recognizes the decoder calls that introduce taint: the
+// fixed-width reads of a binary.ByteOrder (LittleEndian.Uint64 on a header
+// field) and the varint family. Every byte they interpret came from a file
+// or a peer.
+func decodeSources(info *types.Info) func(call *ast.CallExpr) []bool {
+	return func(call *ast.CallExpr) []bool {
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+			return nil
+		}
+		switch fn.Name() {
+		case "Uint16", "Uint32", "Uint64":
+			// ByteOrder methods: one result, tainted.
+			return []bool{true}
+		case "Varint", "Uvarint", "ReadVarint", "ReadUvarint":
+			// (value, n) / (value, err): the decoded value is tainted.
+			return []bool{true, false}
+		}
+		return nil
+	}
+}
+
+// checkSinks reports tainted values consumed in size or index positions
+// anywhere inside block node n.
+func checkSinks(pass *analysis.Pass, n ast.Node, s *dataflow.TaintState) {
+	dataflow.ShallowNodes(n, func(c ast.Node) {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			checkCallSinks(pass, c, s)
+		case *ast.IndexExpr:
+			if !indexableByLen(pass.TypesInfo, c.X) {
+				return
+			}
+			if s.Tainted(c.Index) {
+				pass.Reportf(c.Index.Pos(), "index %s is untrusted input decoded from a sketch/checkpoint/spill file: compare it against a bound before indexing", exprName(c.Index))
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{c.Low, c.High, c.Max} {
+				if bound != nil && s.Tainted(bound) {
+					pass.Reportf(bound.Pos(), "slice bound %s is untrusted input decoded from a sketch/checkpoint/spill file: compare it against a bound before slicing", exprName(bound))
+				}
+			}
+		}
+	})
+}
+
+func checkCallSinks(pass *analysis.Pass, call *ast.CallExpr, s *dataflow.TaintState) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "make" {
+			for _, arg := range call.Args[1:] {
+				if s.Tainted(arg) {
+					pass.Reportf(arg.Pos(), "make sized by untrusted length %s decoded from a sketch/checkpoint/spill file: compare it against a bound before allocating", exprName(arg))
+				}
+			}
+			return
+		}
+	}
+	if analysis.IsPkgFunc(pass.TypesInfo, call, "io", "CopyN") && len(call.Args) == 3 {
+		if s.Tainted(call.Args[2]) {
+			pass.Reportf(call.Args[2].Pos(), "io.CopyN length %s is untrusted input decoded from a sketch/checkpoint/spill file: compare it against a bound first", exprName(call.Args[2]))
+		}
+	}
+}
+
+// indexableByLen reports whether e is a slice, array or string — the types
+// where a hostile index is an out-of-range panic. Map keys are not lengths.
+func indexableByLen(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	switch t.(type) {
+	case *types.Slice, *types.Array, *types.Basic:
+		_, isBasic := t.(*types.Basic)
+		if isBasic {
+			b := t.(*types.Basic)
+			return b.Info()&types.IsString != 0
+		}
+		return true
+	}
+	return false
+}
+
+func exprName(e ast.Expr) string {
+	if name := dataflow.ExprString(e); name != "" {
+		return name
+	}
+	return "value"
+}

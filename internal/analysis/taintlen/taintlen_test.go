@@ -1,0 +1,27 @@
+package taintlen_test
+
+import (
+	"testing"
+
+	"imdist/internal/analysis/analysistest"
+	"imdist/internal/analysis/taintlen"
+)
+
+// TestTaintlen proves decoded lengths fire at make/index/slice/CopyN sinks,
+// that comparisons sanitize, and that taint crosses in-package helper
+// returns via the summaries (the fixture spans two files).
+func TestTaintlen(t *testing.T) {
+	analysistest.Run(t, taintlen.Analyzer, "taintlen")
+}
+
+// TestTaintlenScopeGate proves the analyzer is silent outside sketchio and
+// packages without the //imvet:hostileinput directive.
+func TestTaintlenScopeGate(t *testing.T) {
+	analysistest.Run(t, taintlen.Analyzer, "taintlenoff")
+}
+
+// TestTaintlenAllow proves //imvet:allow taintlen suppresses a documented
+// exception while an unannotated line still fires.
+func TestTaintlenAllow(t *testing.T) {
+	analysistest.Run(t, taintlen.Analyzer, "taintlenallow")
+}

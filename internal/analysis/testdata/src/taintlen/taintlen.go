@@ -1,0 +1,51 @@
+// Package taintlen is an imvet fixture: lengths and offsets decoded from
+// untrusted bytes reaching allocation, index and copy sinks before any
+// bounds comparison. The package opts into the hostile-input contract with
+// the directive below, exactly as a future network decode path would.
+//
+//imvet:hostileinput — fixture: these functions parse attacker-controlled bytes
+package taintlen
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// decodeV1Header reproduces the historical v1-decoder shape the contract
+// exists for: the header's set count flows straight into make, so a 16-byte
+// hostile file requests a multi-gigabyte allocation.
+func decodeV1Header(hdr []byte) [][]uint32 {
+	numSets := binary.LittleEndian.Uint64(hdr[24:32])
+	return make([][]uint32, numSets) // want `make sized by untrusted length numSets`
+}
+
+// vertexAt indexes the payload at a decoded offset without a range check.
+func vertexAt(payload []byte) byte {
+	off := binary.LittleEndian.Uint32(payload)
+	return payload[off] // want `index off is untrusted input`
+}
+
+// record slices by a decoded varint length without a cap.
+func record(payload []byte) []byte {
+	n, _ := binary.Uvarint(payload)
+	return payload[:n] // want `slice bound n is untrusted input`
+}
+
+// copyBody sizes an io.CopyN from a decoded segment length.
+func copyBody(dst io.Writer, src io.Reader, hdr []byte) error {
+	size := int64(binary.LittleEndian.Uint64(hdr))
+	_, err := io.CopyN(dst, src, size) // want `io.CopyN length size is untrusted input`
+	return err
+}
+
+// readCount is a decode helper: its tainted return must propagate to
+// callers through the fixed-point summary.
+func readCount(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b)
+}
+
+// decodeViaHelper allocates from a count that was decoded two frames away.
+func decodeViaHelper(b []byte) []uint32 {
+	count := readCount(b)
+	return make([]uint32, count) // want `make sized by untrusted length count`
+}

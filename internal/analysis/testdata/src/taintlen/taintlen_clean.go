@@ -1,0 +1,47 @@
+package taintlen
+
+import "encoding/binary"
+
+// The clean counterparts live in a second file: the analyzer's taint state
+// and summaries must span the whole package, not one file.
+
+// decodeBounded compares the decoded count against a caller bound before
+// allocating: the comparison sanitizes it on both branches.
+func decodeBounded(hdr []byte, maxSets uint64) [][]uint32 {
+	numSets := binary.LittleEndian.Uint64(hdr)
+	if numSets > maxSets {
+		return nil
+	}
+	return make([][]uint32, numSets)
+}
+
+// decodeRecords checks the count once and then uses it to size the result
+// and drive the loop; derived loop indexes are clean.
+func decodeRecords(payload []byte, n uint32) []uint32 {
+	count := binary.LittleEndian.Uint32(payload)
+	if count > n || 4+4*uint64(count) > uint64(len(payload)) {
+		return nil
+	}
+	out := make([]uint32, 0, count)
+	for i := uint32(0); i < count; i++ {
+		out = append(out, binary.LittleEndian.Uint32(payload[4+4*i:]))
+	}
+	return out
+}
+
+// boundedViaHelper sanitizes a helper-returned count: the summary taints it,
+// the comparison clears it.
+func boundedViaHelper(b []byte) []uint32 {
+	count := readCount(b)
+	if count > 1<<20 {
+		return nil
+	}
+	return make([]uint32, count)
+}
+
+// clampedByMin caps the decoded length with the min builtin, which bounds it
+// by a trusted operand.
+func clampedByMin(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	return make([]byte, min(n, len(b)))
+}

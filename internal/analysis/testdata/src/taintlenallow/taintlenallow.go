@@ -1,0 +1,21 @@
+// Package taintlenallow is an imvet fixture for //imvet:allow taintlen: a
+// documented unbounded decode is suppressed, and an unannotated control
+// line still fires.
+//
+//imvet:hostileinput — fixture: parses attacker-controlled bytes
+package taintlenallow
+
+import "encoding/binary"
+
+// trustedSideChannel decodes a length whose bound is enforced by the caller
+// (the fixture's stand-in for a contract the analyzer cannot see).
+func trustedSideChannel(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n) //imvet:allow taintlen — fixture: caller verified the segment CRC, length is trusted
+}
+
+// control proves the analyzer still fires where no directive applies.
+func control(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n) // want `make sized by untrusted length n`
+}

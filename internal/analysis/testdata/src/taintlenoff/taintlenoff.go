@@ -1,0 +1,17 @@
+// Package taintlenoff proves taintlen's scope gate: the same unbounded
+// decode shapes as the firing fixture, but the package neither is
+// imdist/internal/sketchio nor carries //imvet:hostileinput, so nothing is
+// tainted and nothing fires.
+package taintlenoff
+
+import "encoding/binary"
+
+func decodeV1Header(hdr []byte) [][]uint32 {
+	numSets := binary.LittleEndian.Uint64(hdr[24:32])
+	return make([][]uint32, numSets)
+}
+
+func vertexAt(payload []byte) byte {
+	off := binary.LittleEndian.Uint32(payload)
+	return payload[off]
+}
