@@ -1,0 +1,155 @@
+// Package ctxflow implements the imvet analyzer that enforces context
+// threading on the serving and build paths.
+//
+// Cancellation is load-bearing in imdist: an HTTP client that disconnects,
+// a DELETE on a build job, or server shutdown must actually stop the work —
+// a batch influence query fans out per-seed-set work, and an adaptive build
+// appends millions of RR sets in a loop. Both die only if ctx reaches them.
+// The analyzer uses the dataflow layer's intra-package call graph to find
+// every function on such a path and reports:
+//
+//   - calls to context.Background() or context.TODO() inside a function
+//     that has a ctx parameter, is an HTTP handler (use r.Context()), or is
+//     call-graph-reachable from one — a fresh root context silently detaches
+//     the work from its caller's lifetime. Deliberate detachment (a build
+//     job that must outlive its submit request, a shutdown drain that must
+//     outlive the cancelled serve context) carries an //imvet:allow with
+//     the justification.
+//   - condition-only loops (`for {` / `for cond {`) in a ctx-carrying
+//     function whose body makes calls but never mentions ctx: unbounded
+//     batch/append loops must poll ctx.Err() or select on ctx.Done() each
+//     iteration. Range and three-clause loops are bounded by construction
+//     and exempt.
+//
+// The call graph is intra-package and static (see package dataflow): a path
+// that crosses a package boundary is checked in the callee's package by the
+// same rules, provided the callee takes a ctx — which is exactly what the
+// first rule forces.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"imdist/internal/analysis"
+	"imdist/internal/analysis/dataflow"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background/TODO downstream of HTTP handler or build-job entry points, and " +
+		"condition-only loops in ctx-carrying functions that never poll ctx.Err()/ctx.Done()",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := dataflow.PackageInfo(pass)
+
+	var roots []*dataflow.Func
+	for _, fn := range info.Funcs {
+		if ctxParam(pass.TypesInfo, fn) != nil || isHandler(pass.TypesInfo, fn) {
+			roots = append(roots, fn)
+		}
+	}
+	reachable := info.ReachableFrom(roots)
+
+	for _, fn := range info.Funcs {
+		root, onPath := reachable[fn]
+		if onPath {
+			checkFreshContext(pass, fn, root)
+		}
+		if ctx := ctxParam(pass.TypesInfo, fn); ctx != nil {
+			checkLoops(pass, fn, ctx)
+		}
+	}
+	return nil
+}
+
+// ctxParam returns the function's context.Context parameter object, or nil.
+// A blank-named ctx counts for reachability but not for the loop rule.
+func ctxParam(info *types.Info, fn *dataflow.Func) types.Object {
+	sig := fn.Obj.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if analysis.TypeName(params.At(i).Type(), "context", "Context") {
+			return params.At(i)
+		}
+	}
+	return nil
+}
+
+// isHandler reports the net/http handler shape:
+// func (w http.ResponseWriter, r *http.Request).
+func isHandler(info *types.Info, fn *dataflow.Func) bool {
+	sig := fn.Obj.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() != 2 {
+		return false
+	}
+	return analysis.TypeName(params.At(0).Type(), "net/http", "ResponseWriter") &&
+		analysis.TypeName(params.At(1).Type(), "net/http", "Request")
+}
+
+// checkFreshContext reports context.Background/TODO calls anywhere in fn
+// (closures included: they run on fn's path or under its lifetime).
+func checkFreshContext(pass *analysis.Pass, fn *dataflow.Func, root *dataflow.Func) {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch {
+		case analysis.IsPkgFunc(pass.TypesInfo, call, "context", "Background"):
+			name = "context.Background"
+		case analysis.IsPkgFunc(pass.TypesInfo, call, "context", "TODO"):
+			name = "context.TODO"
+		default:
+			return true
+		}
+		switch {
+		case ctxParam(pass.TypesInfo, fn) != nil:
+			pass.Reportf(call.Pos(), "%s calls %s but has ctx in scope: derive from ctx so cancellation propagates, or annotate the deliberate detachment with //imvet:allow ctxflow", fn.Name(), name)
+		case isHandler(pass.TypesInfo, fn):
+			pass.Reportf(call.Pos(), "HTTP handler %s calls %s: use r.Context() so client disconnects and server shutdown stop the work", fn.Name(), name)
+		default:
+			pass.Reportf(call.Pos(), "%s calls %s on a request/build path (reachable from %s): thread ctx through so cancellation propagates", fn.Name(), name, root.Name())
+		}
+		return true
+	})
+}
+
+// checkLoops reports condition-only loops in fn that make calls but never
+// reference fn's ctx parameter.
+func checkLoops(pass *analysis.Pass, fn *dataflow.Func, ctx types.Object) {
+	if ctx.Name() == "_" || ctx.Name() == "" {
+		return
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if loop.Init != nil || loop.Post != nil {
+			return true // three-clause loops are bounded by construction
+		}
+		usesCtx := false
+		makesCalls := false
+		ast.Inspect(loop, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.Ident:
+				if pass.TypesInfo.Uses[c] == ctx {
+					usesCtx = true
+				}
+			case *ast.CallExpr:
+				makesCalls = true
+			}
+			return true
+		})
+		if makesCalls && !usesCtx {
+			pass.Reportf(loop.Pos(), "unbounded loop in %s never polls ctx: check ctx.Err() (or select on ctx.Done()) each iteration so cancellation can stop the work", fn.Name())
+		}
+		return true
+	})
+}

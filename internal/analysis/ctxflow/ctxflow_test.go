@@ -1,0 +1,22 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"imdist/internal/analysis/analysistest"
+	"imdist/internal/analysis/ctxflow"
+)
+
+// TestCtxflow proves fresh root contexts fire in handlers, in ctx-carrying
+// functions and transitively via the call graph (with the entry point
+// named), that unbounded loops without a ctx poll fire, and that the clean
+// file's threaded/polled/bounded shapes stay silent.
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "ctxflow")
+}
+
+// TestCtxflowAllow proves //imvet:allow ctxflow suppresses a documented
+// deliberate detachment while an unannotated line still fires.
+func TestCtxflowAllow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "ctxflowallow")
+}

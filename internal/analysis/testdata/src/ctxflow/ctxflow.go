@@ -1,0 +1,55 @@
+// Package ctxflow is an imvet fixture: fresh root contexts created on
+// handler/build paths, and unbounded loops that never poll ctx.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// handler creates a fresh context instead of using the request's.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `HTTP handler handler calls context.Background`
+	work(ctx)
+	helper()
+}
+
+// helper is one hop from the handler: the reachability rule must carry the
+// entry point's name into the diagnostic.
+func helper() {
+	deep()
+}
+
+// deep is two hops out.
+func deep() {
+	_ = context.TODO() // want `deep calls context.TODO on a request/build path \(reachable from handler\)`
+}
+
+// work has ctx in scope and discards it for a fresh root.
+func work(ctx context.Context) {
+	dctx := context.Background() // want `work calls context.Background but has ctx in scope`
+	_ = dctx
+	_ = ctx
+}
+
+// build drives an unbounded append loop without ever polling ctx.
+func build(ctx context.Context, items []int) int {
+	total := 0
+	for len(items) > 0 { // want `unbounded loop in build never polls ctx`
+		total += step(items)
+		items = items[1:]
+	}
+	return total
+}
+
+// spin is the condition-less variant.
+func spin(ctx context.Context, done *bool) {
+	for { // want `unbounded loop in spin never polls ctx`
+		if *done {
+			return
+		}
+		step(nil)
+	}
+}
+
+func step(items []int) int { return len(items) }

@@ -1,0 +1,56 @@
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// The clean counterparts: threading r.Context, polling ctx.Err, selecting
+// on ctx.Done, and loops that are bounded by construction.
+
+func cleanHandler(w http.ResponseWriter, r *http.Request) {
+	work2(r.Context())
+}
+
+func work2(ctx context.Context) error {
+	items := []int{1, 2, 3}
+	for len(items) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		items = items[1:]
+		step(items)
+	}
+	return nil
+}
+
+func selectLoop(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += step([]int{v})
+		}
+	}
+}
+
+// boundedLoops: range and three-clause loops terminate with their
+// collection/counter and are exempt.
+func boundedLoops(ctx context.Context, items []int) int {
+	total := 0
+	for _, v := range items {
+		total += step([]int{v})
+	}
+	for i := 0; i < len(items); i++ {
+		total += step(items)
+	}
+	return total
+}
+
+// notOnPath is unreachable from any handler or ctx function: a fresh root
+// context is fine here (main-style wiring).
+func notOnPath() context.Context {
+	return context.Background()
+}

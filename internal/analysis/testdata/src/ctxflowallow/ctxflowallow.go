@@ -1,0 +1,23 @@
+// Package ctxflowallow is an imvet fixture for //imvet:allow ctxflow: a
+// documented deliberate detachment is suppressed, an unannotated control
+// line still fires.
+package ctxflowallow
+
+import "context"
+
+// submitJob deliberately detaches the job from the request context — the
+// job outlives the submitting request by design (the repo's buildManager
+// shape).
+func submitJob(ctx context.Context) context.Context {
+	//imvet:allow ctxflow — fixture: job outlives the request by design; cancelled via its own handle
+	jobCtx, cancel := context.WithCancel(context.Background())
+	_ = cancel
+	_ = ctx
+	return jobCtx
+}
+
+// control proves the analyzer still fires without the directive.
+func control(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want `control calls context.Background but has ctx in scope`
+}
