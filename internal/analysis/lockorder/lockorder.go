@@ -1,0 +1,568 @@
+// Package lockorder implements the imvet analyzer that derives the
+// mutex-acquisition graph of a package and polices it.
+//
+// imdist's serving path crosses several guarded containers — the
+// server.Registry (RWMutex over the sketch table), the buildManager and its
+// per-job mutexes, and the RRStore implementations (MemStore, SpillStore).
+// A deadlock needs only two of them acquired in opposite orders on two
+// goroutines, or one of them held across a blocking operation that waits on
+// a goroutine that wants it. Both shapes are invisible to tests (they need
+// the right interleaving) and to syntactic checks (they are path
+// properties); lockorder runs a flow-sensitive must-hold analysis over the
+// dataflow layer's CFGs instead.
+//
+// Per function, the held-lock set is propagated over the CFG (join =
+// intersection, so only locks held on *every* path count; `defer Unlock`
+// holds to function end by construction). From it the analyzer derives:
+//
+//   - the acquisition graph: an edge A → B for every point where B is
+//     locked (directly, or transitively via an in-package call) while A is
+//     held. Any edge lying on a cycle is reported — two such edges are a
+//     deadlock waiting for its interleaving.
+//   - recursive acquisition: locking a mutex already held (sync mutexes do
+//     not reenter), directly or via a call.
+//   - blocking-while-held: a channel send/receive, a select without
+//     default, a range over a channel, or a known blocking call
+//     (time.Sleep, WaitGroup/Cond.Wait, exec, net, http.Client) — direct
+//     or via an in-package callee — executed with a mutex held.
+//
+// Identity is (named type, field): every *buildJob's mu is one lock in the
+// graph, which is the right granularity for order invariants. The graph is
+// intra-package (see package dataflow); calls into other packages are
+// assumed lock-free, which is sound for the repo's layering (core and
+// sketchio never call back up into server).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"imdist/internal/analysis"
+	"imdist/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "derive the package's mutex-acquisition graph and flag acquisition-order cycles, " +
+		"recursive acquisition, and locks held across blocking operations",
+	Run: run,
+}
+
+// A lockID names one mutex in the acquisition graph: the field of a named
+// type ("Registry.mu"), or a bare variable.
+type lockID struct {
+	typeName string
+	name     string
+}
+
+func (id lockID) String() string {
+	if id.typeName == "" {
+		return id.name
+	}
+	if id.name == "" {
+		return id.typeName + ".Mutex"
+	}
+	return id.typeName + "." + id.name
+}
+
+// An edge records "to was acquired while from was held", with the first
+// program point that did it.
+type edge struct {
+	from, to lockID
+	pos      token.Pos
+	fn       string // function containing the acquisition
+	via      string // callee name when the edge comes from a call summary
+}
+
+type checker struct {
+	pass *analysis.Pass
+	info *dataflow.Info
+	// acquires is the transitive may-acquire summary per function.
+	acquires map[*dataflow.Func]map[lockID]bool
+	// blocking marks functions that may block (directly or via callees).
+	blocking map[*dataflow.Func]bool
+	// comm holds every select communication statement: its channel op is
+	// the select's choice, not an unconditional block.
+	comm map[ast.Stmt]bool
+
+	edges    []edge
+	edgeSeen map[[2]lockID]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		info:     dataflow.PackageInfo(pass),
+		acquires: map[*dataflow.Func]map[lockID]bool{},
+		blocking: map[*dataflow.Func]bool{},
+		comm:     map[ast.Stmt]bool{},
+		edgeSeen: map[[2]lockID]bool{},
+	}
+	c.collectComm()
+	c.buildSummaries()
+	for _, fn := range c.info.Funcs {
+		c.checkFunc(fn)
+	}
+	c.reportCycles()
+	return nil
+}
+
+// collectComm indexes the comm statements of every select in the package.
+func (c *checker) collectComm() {
+	for _, fn := range c.info.Funcs {
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, cl := range sel.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						c.comm[cc.Comm] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// buildSummaries computes, to a fixed point, which locks each function may
+// acquire and whether it may block. Closure bodies count (they may run on
+// the function's path); `go` statements do not (their effects land on a
+// different goroutine); deferred calls do not (they run at exit, after the
+// body's critical sections).
+func (c *checker) buildSummaries() {
+	direct := map[*dataflow.Func]map[lockID]bool{}
+	directBlock := map[*dataflow.Func]bool{}
+	for _, fn := range c.info.Funcs {
+		acq := map[lockID]bool{}
+		blocks := false
+		c.walkEffective(fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, _, isAcquire, ok := c.lockCall(n); ok {
+					if isAcquire {
+						acq[id] = true
+					}
+					return true
+				}
+				if _, ok := c.blockingCall(n); ok {
+					blocks = true
+				}
+			case *ast.SelectStmt:
+				if !hasDefault(n) {
+					blocks = true
+				}
+			case *ast.SendStmt:
+				if !c.comm[n] {
+					blocks = true
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocks = true
+				}
+			case *ast.RangeStmt:
+				if isChan(c.pass.TypesInfo, n.X) {
+					blocks = true
+				}
+			}
+			return true
+		})
+		direct[fn] = acq
+		directBlock[fn] = blocks
+	}
+	for _, fn := range c.info.Funcs {
+		c.acquires[fn] = cloneLocks(direct[fn])
+		c.blocking[fn] = directBlock[fn]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range c.info.Funcs {
+			for _, callee := range c.info.Callees(fn) {
+				for id := range c.acquires[callee] {
+					if !c.acquires[fn][id] {
+						c.acquires[fn][id] = true
+						changed = true
+					}
+				}
+				if c.blocking[callee] && !c.blocking[fn] {
+					c.blocking[fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// walkEffective walks n's subtree skipping go statements, deferred calls,
+// and the channel operand of select comm clauses (handled at the select).
+func (c *checker) walkEffective(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case ast.Stmt:
+			if c.comm[x] {
+				fn(x)
+				return false
+			}
+		}
+		if x == nil {
+			return false
+		}
+		return fn(x)
+	})
+}
+
+// held is the per-program-point state: lock → write-held.
+type held map[lockID]bool
+
+// checkFunc runs the must-hold analysis over fn's CFG and reports.
+func (c *checker) checkFunc(fn *dataflow.Func) {
+	g := c.info.CFG(fn)
+	in := make([]held, len(g.Blocks))
+	in[g.Entry.Index] = held{}
+	work := []*dataflow.Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := cloneLocks(in[blk.Index])
+		for _, n := range blk.Nodes {
+			c.transfer(fn, n, st, nil)
+		}
+		for _, succ := range blk.Succs {
+			if in[succ.Index] == nil {
+				in[succ.Index] = cloneLocks(st)
+				work = append(work, succ)
+			} else if intersectInto(in[succ.Index], st) {
+				work = append(work, succ)
+			}
+		}
+	}
+	var reports []report
+	for _, blk := range g.Blocks {
+		if in[blk.Index] == nil {
+			continue
+		}
+		st := cloneLocks(in[blk.Index])
+		for _, n := range blk.Nodes {
+			c.transfer(fn, n, st, &reports)
+		}
+	}
+	sort.SliceStable(reports, func(i, j int) bool { return reports[i].pos < reports[j].pos })
+	for _, r := range reports {
+		c.pass.Reportf(r.pos, "%s", r.msg)
+	}
+}
+
+type report struct {
+	pos token.Pos
+	msg string
+}
+
+// transfer applies one block node to the held set; with reports non-nil it
+// also collects diagnostics and acquisition edges (the replay pass).
+func (c *checker) transfer(fn *dataflow.Func, n ast.Node, st held, reports *[]report) {
+	switch n := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred unlocks keep the lock held to function end; goroutine
+		// bodies run on another stack.
+		return
+	case *ast.SelectStmt:
+		if reports != nil && len(st) > 0 && !hasDefault(n) {
+			c.blockReport(fn, n.Pos(), st, "select without a default case", reports)
+		}
+		return
+	case *ast.RangeStmt:
+		if reports != nil && len(st) > 0 && isChan(c.pass.TypesInfo, n.X) {
+			c.blockReport(fn, n.Pos(), st, "range over a channel", reports)
+		}
+		return
+	}
+	isComm := false
+	if stmt, ok := n.(ast.Stmt); ok {
+		isComm = c.comm[stmt]
+	}
+	dataflow.ShallowNodes(n, func(x ast.Node) {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			c.transferCall(fn, x, st, reports)
+		case *ast.SendStmt:
+			if reports != nil && len(st) > 0 && !isComm {
+				c.blockReport(fn, x.Pos(), st, "channel send", reports)
+			}
+		case *ast.UnaryExpr:
+			if reports != nil && len(st) > 0 && x.Op == token.ARROW && !isComm {
+				c.blockReport(fn, x.Pos(), st, "channel receive", reports)
+			}
+		}
+	})
+}
+
+func (c *checker) transferCall(fn *dataflow.Func, call *ast.CallExpr, st held, reports *[]report) {
+	if id, write, isAcquire, ok := c.lockCall(call); ok {
+		if !isAcquire {
+			delete(st, id)
+			return
+		}
+		if priorWrite, already := st[id]; already && reports != nil && (write || priorWrite) {
+			*reports = append(*reports, report{call.Pos(), fmt.Sprintf(
+				"%s acquires %s while already holding it: sync mutexes do not reenter (self-deadlock)",
+				fn.Name(), id)})
+		}
+		if reports != nil {
+			for _, h := range sortedLocks(st) {
+				if h != id {
+					c.addEdge(edge{from: h, to: id, pos: call.Pos(), fn: fn.Name()})
+				}
+			}
+		}
+		st[id] = write || st[id]
+		return
+	}
+	if obj := analysis.CalleeFunc(c.pass.TypesInfo, call); obj != nil {
+		if callee, ok := c.info.ByObj[obj]; ok {
+			if reports != nil && len(st) > 0 {
+				for _, a := range sortedLocks(c.acquires[callee]) {
+					for _, h := range sortedLocks(st) {
+						if a == h {
+							*reports = append(*reports, report{call.Pos(), fmt.Sprintf(
+								"%s calls %s while holding %s, and %s acquires %s again: sync mutexes do not reenter (self-deadlock)",
+								fn.Name(), callee.Name(), h, callee.Name(), a)})
+						} else {
+							c.addEdge(edge{from: h, to: a, pos: call.Pos(), fn: fn.Name(), via: callee.Name()})
+						}
+					}
+				}
+				if c.blocking[callee] {
+					c.blockReport(fn, call.Pos(), st, fmt.Sprintf("call to %s, which may block", callee.Name()), reports)
+				}
+			}
+			return
+		}
+	}
+	if reports != nil && len(st) > 0 {
+		if name, ok := c.blockingCall(call); ok {
+			c.blockReport(fn, call.Pos(), st, "call to "+name, reports)
+		}
+	}
+}
+
+func (c *checker) blockReport(fn *dataflow.Func, pos token.Pos, st held, what string, reports *[]report) {
+	*reports = append(*reports, report{pos, fmt.Sprintf(
+		"%s holds %s across a blocking operation (%s): the lock is unavailable for as long as the wait lasts",
+		fn.Name(), lockList(st), what)})
+}
+
+// lockCall recognizes sync.(RW)Mutex Lock/RLock/Unlock/RUnlock calls and
+// identifies the mutex.
+func (c *checker) lockCall(call *ast.CallExpr) (id lockID, write, isAcquire, ok bool) {
+	obj := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return id, false, false, false
+	}
+	switch obj.Name() {
+	case "Lock":
+		write, isAcquire = true, true
+	case "RLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return id, false, false, false
+	}
+	sig, sigOK := obj.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return id, false, false, false
+	}
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return id, false, false, false
+	}
+	id, ok = c.lockIDOf(sel.X)
+	return id, write, isAcquire, ok
+}
+
+// lockIDOf names the mutex expression: s.mu → {type of s, "mu"}, a bare or
+// package-qualified variable by name, an embedded mutex by its owner type.
+func (c *checker) lockIDOf(e ast.Expr) (lockID, bool) {
+	info := c.pass.TypesInfo
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				return lockID{name: x.Sel.Name}, true
+			}
+		}
+		if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+			if tn := dataflow.NamedTypeName(tv.Type); tn != "" {
+				return lockID{typeName: tn, name: x.Sel.Name}, true
+			}
+		}
+		if s := dataflow.ExprString(x); s != "" {
+			return lockID{name: s}, true
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return lockID{}, false
+		}
+		if dataflow.IsMutexType(obj.Type()) {
+			return lockID{name: x.Name}, true
+		}
+		// Receiver/value with an embedded mutex: identify by owner type.
+		if tn := dataflow.NamedTypeName(obj.Type()); tn != "" {
+			return lockID{typeName: tn}, true
+		}
+	}
+	return lockID{}, false
+}
+
+// blockingCall recognizes well-known blocking calls outside the package.
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	obj := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if name == "Wait" {
+			return "sync." + recvName(obj) + ".Wait", true
+		}
+	case "os/exec":
+		switch name {
+		case "Run", "Wait", "Output", "CombinedOutput":
+			return "exec.Cmd." + name, true
+		}
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "net/http." + name, true
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Accept":
+			return "net." + name, true
+		}
+	}
+	return "", false
+}
+
+func recvName(obj *types.Func) string {
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := dataflow.NamedTypeName(sig.Recv().Type()); tn != "" {
+			return tn
+		}
+	}
+	return "Locker"
+}
+
+func (c *checker) addEdge(e edge) {
+	key := [2]lockID{e.from, e.to}
+	if c.edgeSeen[key] {
+		return
+	}
+	c.edgeSeen[key] = true
+	c.edges = append(c.edges, e)
+}
+
+// reportCycles reports every acquisition edge that lies on a cycle of the
+// package's lock-order graph.
+func (c *checker) reportCycles() {
+	succs := map[lockID][]lockID{}
+	for _, e := range c.edges {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	reaches := func(from, to lockID) bool {
+		seen := map[lockID]bool{from: true}
+		queue := []lockID{from}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, next := range succs[cur] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range c.edges {
+		if !reaches(e.to, e.from) {
+			continue
+		}
+		via := ""
+		if e.via != "" {
+			via = fmt.Sprintf(" (via call to %s)", e.via)
+		}
+		c.pass.Reportf(e.pos, "%s acquires %s while holding %s%s, but elsewhere in the package %s is acquired first: lock-order cycle (deadlock risk)",
+			e.fn, e.to, e.from, via, e.to)
+	}
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func cloneLocks(m held) held {
+	out := make(held, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectInto keeps in dst only locks also held in src (must-hold meet),
+// reporting whether dst changed.
+func intersectInto(dst, src held) bool {
+	changed := false
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func sortedLocks(m held) []lockID {
+	out := make([]lockID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func lockList(m held) string {
+	ids := sortedLocks(m)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = id.String()
+	}
+	return strings.Join(names, ", ")
+}

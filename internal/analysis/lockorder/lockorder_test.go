@@ -1,0 +1,32 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"imdist/internal/analysis/analysistest"
+	"imdist/internal/analysis/lockorder"
+)
+
+// TestLockorder proves the two-mutex cycle fires (directly and via call
+// summaries), recursive acquisition fires (directly and via a callee),
+// blocking-under-lock fires for channel ops, selects, sleeps and blocking
+// callees — and that consistent hierarchy order, select-with-default and
+// unlock-before-block stay silent. The fixture spans three files plus a
+// subpackage, exercising the harness's multi-file and multi-package
+// loading.
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockorder")
+}
+
+// TestLockorderTagged proves tag-gated fixture files load (violation and
+// want both) when the tag is passed — and, via TestLockorder above, stay
+// invisible when it is not.
+func TestLockorderTagged(t *testing.T) {
+	analysistest.RunTags(t, lockorder.Analyzer, "lockorder", "lockordertag")
+}
+
+// TestLockorderAllow proves //imvet:allow lockorder suppresses a documented
+// exception while an unannotated line still fires.
+func TestLockorderAllow(t *testing.T) {
+	analysistest.RunTags(t, lockorder.Analyzer, "lockorderallow")
+}

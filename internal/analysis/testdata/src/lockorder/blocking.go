@@ -1,0 +1,67 @@
+package lockorder
+
+import "time"
+
+// recvUnderLock parks on a channel receive with the mutex held.
+func recvUnderLock(a *A, ch chan int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return <-ch // want `recvUnderLock holds A.mu across a blocking operation \(channel receive\)`
+}
+
+// sendUnderLock parks on a channel send with the mutex held.
+func sendUnderLock(a *A, ch chan int) {
+	a.mu.Lock()
+	ch <- 1 // want `sendUnderLock holds A.mu across a blocking operation \(channel send\)`
+	a.mu.Unlock()
+}
+
+// sleepUnderLock stalls every other acquirer for the sleep duration.
+func sleepUnderLock(a *A) {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want `sleepUnderLock holds A.mu across a blocking operation \(call to time.Sleep\)`
+	a.mu.Unlock()
+}
+
+// selectUnderLock blocks with no default case.
+func selectUnderLock(a *A, ch chan int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select { // want `selectUnderLock holds A.mu across a blocking operation \(select without a default case\)`
+	case v := <-ch:
+		return v
+	}
+}
+
+// pollUnderLock uses select-with-default: non-blocking, clean — the repo's
+// buildManager.submit shape.
+func pollUnderLock(a *A, ch chan int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// recvAfterUnlock releases before parking: flow-sensitivity must see the
+// explicit Unlock — the repo's flightGroup.Do shape.
+func recvAfterUnlock(a *A, ch chan int) int {
+	a.mu.Lock()
+	a.mu.Unlock()
+	return <-ch
+}
+
+// blockViaCall parks inside a callee while holding the lock.
+func blockViaCall(a *A, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	drain(ch) // want `blockViaCall holds A.mu across a blocking operation \(call to drain, which may block\)`
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

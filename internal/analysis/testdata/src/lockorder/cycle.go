@@ -1,0 +1,68 @@
+package lockorder
+
+// aThenB and bThenA acquire the two mutexes in opposite orders: the classic
+// deadlock, visible only as a property of the package-wide graph.
+func aThenB(a *A) {
+	a.mu.Lock()
+	a.b.mu.Lock() // want `aThenB acquires B.mu while holding A.mu, but elsewhere in the package B.mu is acquired first: lock-order cycle`
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func bThenA(b *B) {
+	b.mu.Lock()
+	b.a.mu.Lock() // want `bThenA acquires A.mu while holding B.mu, but elsewhere in the package A.mu is acquired first: lock-order cycle`
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// cThenD and dThenC form the same cycle, but each second acquisition hides
+// inside a callee: the edges come from the transitive acquire summaries.
+func cThenD(c *C) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.d.touch() // want `cThenD acquires D.mu while holding C.mu \(via call to D.touch\)`
+}
+
+func (d *D) touch() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func dThenC(d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.c.touch() // want `dThenC acquires C.mu while holding D.mu \(via call to C.touch\)`
+}
+
+func (c *C) touch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// reacquire locks a mutex it already holds: sync mutexes do not reenter.
+func reacquire(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `reacquire acquires A.mu while already holding it`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// reacquireViaCall self-deadlocks through a callee that takes the same lock.
+func reacquireViaCall(d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.touch() // want `reacquireViaCall calls D.touch while holding D.mu`
+}
+
+// prune holds parent and child in the repo's hierarchy order on every path:
+// a consistent order is clean.
+func prune(m *Mgr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		j.done = true
+		j.mu.Unlock()
+	}
+}

@@ -1,0 +1,19 @@
+// Package sub proves the harness runs analyzers over fixture subpackages:
+// its own violation must be reported against its own acquisition graph,
+// independent of the parent fixture package.
+package sub
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Double() int {
+	s.mu.Lock()
+	s.mu.Lock() // want `S.Double acquires S.mu while already holding it`
+	defer s.mu.Unlock()
+	defer s.mu.Unlock()
+	return s.n
+}

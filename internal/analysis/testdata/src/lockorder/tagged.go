@@ -1,0 +1,13 @@
+//go:build lockordertag
+
+package lockorder
+
+import "sync"
+
+// tagGated proves the harness loads tag-gated fixture files on request:
+// this violation (and its want) is invisible without -tags lockordertag.
+func tagGated(wg *sync.WaitGroup, a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	wg.Wait() // want `tagGated holds A.mu across a blocking operation \(call to sync.WaitGroup.Wait\)`
+}

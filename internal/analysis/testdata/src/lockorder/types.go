@@ -1,0 +1,41 @@
+// Package lockorder is an imvet fixture: the two-mutex acquisition-order
+// cycle, recursive acquisition, and locks held across blocking operations.
+// The types live in this file and the violations in cycle.go/blocking.go:
+// the acquisition graph must span the whole package.
+package lockorder
+
+import "sync"
+
+// A and B form the direct two-mutex cycle.
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+// C and D form a cycle observed only through call summaries.
+type C struct {
+	mu sync.Mutex
+	d  *D
+}
+
+type D struct {
+	mu sync.Mutex
+	c  *C
+}
+
+// Mgr/Job mirror the repo's buildManager/buildJob hierarchy: a consistent
+// parent→child order is clean.
+type Mgr struct {
+	mu   sync.Mutex
+	jobs []*Job
+}
+
+type Job struct {
+	mu   sync.Mutex
+	done bool
+}

@@ -1,0 +1,25 @@
+// Package lockorderallow is an imvet fixture for //imvet:allow lockorder:
+// a documented block-under-lock is suppressed, an unannotated control line
+// still fires.
+package lockorderallow
+
+import "sync"
+
+type G struct {
+	mu sync.Mutex
+}
+
+// handoff deliberately parks under the lock: the protocol guarantees the
+// sender never takes g.mu (the fixture's stand-in for such a contract).
+func handoff(g *G, ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-ch //imvet:allow lockorder — fixture: sender is lock-free by protocol, no cycle possible
+}
+
+// control proves the analyzer still fires without the directive.
+func control(g *G, ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-ch // want `control holds G.mu across a blocking operation \(channel receive\)`
+}
