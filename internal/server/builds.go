@@ -286,6 +286,12 @@ func (m *buildManager) submit(req buildRequest) (*buildJob, string, int) {
 		created: time.Now(),
 		state:   BuildQueued,
 	}
+	// The job context is deliberately detached from the submitting request:
+	// a build keeps running after the submitting client disconnects, and is
+	// cancelled through its own handle instead — DELETE /v1/builds/{id}
+	// (cancelJob), manager shutdown, or the pool context via the AfterFunc
+	// wired in run().
+	//imvet:allow ctxflow — job outlives the request by design; cancellation flows through job.cancel
 	job.ctx, job.cancel = context.WithCancel(context.Background())
 	m.mu.Lock()
 	m.nextID++
