@@ -286,6 +286,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// ctx is already cancelled on this path: deriving the drain timeout
+		// from it would make Shutdown return immediately and tear down
+		// in-flight requests instead of draining them.
+		//imvet:allow ctxflow — shutdown drain must outlive the cancelled serve ctx; bounded by shutdownGrace
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
