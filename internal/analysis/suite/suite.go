@@ -5,18 +5,26 @@ package suite
 
 import (
 	"imdist/internal/analysis"
+	"imdist/internal/analysis/ctxflow"
+	"imdist/internal/analysis/lockorder"
 	"imdist/internal/analysis/lockscope"
 	"imdist/internal/analysis/lostclose"
 	"imdist/internal/analysis/nodet"
 	"imdist/internal/analysis/rngstream"
+	"imdist/internal/analysis/taintlen"
 )
 
-// Analyzers returns the imvet analyzer suite in reporting order.
+// Analyzers returns the imvet analyzer suite in reporting order: the four
+// syntactic passes of PR 8, then the three dataflow-powered passes built on
+// internal/analysis/dataflow (docs/ANALYSIS.md#the-dataflow-layer).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nodet.Analyzer,
 		rngstream.Analyzer,
 		lostclose.Analyzer,
 		lockscope.Analyzer,
+		taintlen.Analyzer,
+		ctxflow.Analyzer,
+		lockorder.Analyzer,
 	}
 }
