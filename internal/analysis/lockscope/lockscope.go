@@ -17,6 +17,7 @@ import (
 	"go/types"
 
 	"imdist/internal/analysis"
+	"imdist/internal/analysis/dataflow"
 )
 
 // Analyzer is the lockscope pass.
@@ -29,18 +30,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	for _, f := range pass.SourceFiles() {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
-				continue
-			}
-			recv := receiverVar(pass.TypesInfo, fd)
-			if recv == nil || !holdsMutex(recv.Type()) {
-				continue
-			}
-			checkMethod(pass, fd, recv)
+	for _, fn := range dataflow.PackageInfo(pass).Funcs {
+		fd := fn.Decl
+		if fd.Recv == nil || !fd.Name.IsExported() {
+			continue
 		}
+		recv := receiverVar(pass.TypesInfo, fd)
+		if recv == nil || !dataflow.HoldsMutex(recv.Type()) {
+			continue
+		}
+		checkMethod(pass, fd, recv)
 	}
 	return nil
 }
@@ -53,25 +52,6 @@ func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
 	}
 	v, _ := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
 	return v
-}
-
-// holdsMutex reports whether the receiver's struct type has a direct
-// sync.Mutex or sync.RWMutex field (by value or pointer).
-func holdsMutex(t types.Type) bool {
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	st, ok := t.Underlying().(*types.Struct)
-	if !ok {
-		return false
-	}
-	for i := 0; i < st.NumFields(); i++ {
-		ft := st.Field(i).Type()
-		if analysis.TypeName(ft, "sync", "Mutex") || analysis.TypeName(ft, "sync", "RWMutex") {
-			return true
-		}
-	}
-	return false
 }
 
 // checkMethod flags return statements that alias guarded state.
@@ -157,12 +137,8 @@ func typeKind(t types.Type) string {
 
 // recvTypeName names the receiver type for diagnostics.
 func recvTypeName(recv *types.Var) string {
-	t := recv.Type()
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
+	if name := dataflow.NamedTypeName(recv.Type()); name != "" {
+		return name
 	}
-	if named, ok := t.(*types.Named); ok {
-		return named.Obj().Name()
-	}
-	return t.String()
+	return recv.Type().String()
 }

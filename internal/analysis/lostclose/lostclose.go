@@ -24,6 +24,7 @@ import (
 	"go/types"
 
 	"imdist/internal/analysis"
+	"imdist/internal/analysis/dataflow"
 )
 
 // Analyzer is the lostclose pass.
@@ -43,17 +44,15 @@ var releaseNames = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	pass.Preorder(func(n ast.Node) {
+	info := dataflow.PackageInfo(pass)
+	info.Inspect(func(_ *dataflow.Func, n ast.Node) bool {
 		if stmt, ok := n.(*ast.ExprStmt); ok {
 			checkDropped(pass, stmt)
 		}
+		return true
 	})
-	for _, f := range pass.SourceFiles() {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkLeaks(pass, fd.Body)
-			}
-		}
+	for _, fn := range info.Funcs {
+		checkLeaks(pass, fn.Decl.Body)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"imdist/internal/analysis"
+	"imdist/internal/analysis/dataflow"
 )
 
 // deterministicPackages lists the import paths bound by the determinism
@@ -66,13 +67,14 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	pass.Preorder(func(n ast.Node) {
+	dataflow.PackageInfo(pass).Inspect(func(_ *dataflow.Func, n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkCall(pass, n)
 		case *ast.RangeStmt:
 			checkMapRange(pass, n)
 		}
+		return true
 	})
 	return nil
 }

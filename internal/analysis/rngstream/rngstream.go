@@ -14,6 +14,7 @@ import (
 	"go/types"
 
 	"imdist/internal/analysis"
+	"imdist/internal/analysis/dataflow"
 )
 
 const (
@@ -30,7 +31,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	pass.Preorder(func(n ast.Node) {
+	dataflow.PackageInfo(pass).Inspect(func(_ *dataflow.Func, n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
 			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
@@ -46,6 +47,7 @@ func run(pass *analysis.Pass) error {
 				}
 			}
 		}
+		return true
 	})
 	return nil
 }
@@ -95,7 +97,7 @@ func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, what string) {
 			if t == nil || !isSourceType(t) {
 				return true
 			}
-			root := rootIdent(n)
+			root := dataflow.RootIdent(n)
 			if root == nil {
 				return true
 			}
@@ -104,7 +106,7 @@ func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, what string) {
 				return true
 			}
 			reported[obj] = true
-			pass.Reportf(n.Pos(), "rng source %s reaches into state captured by %s; derive a per-index stream with rng.Splitter.Stream(index) inside the body", exprString(n), what)
+			pass.Reportf(n.Pos(), "rng source %s reaches into state captured by %s; derive a per-index stream with rng.Splitter.Stream(index) inside the body", dataflow.ExprString(n), what)
 		}
 		return true
 	})
@@ -168,38 +170,4 @@ func isSourceType(t types.Type) bool {
 		return true
 	}
 	return false
-}
-
-// rootIdent returns the leftmost identifier of a selector chain (the o of
-// o.inner.src), or nil when the chain is rooted in a call or index.
-func rootIdent(e ast.Expr) *ast.Ident {
-	for {
-		switch x := ast.Unparen(e).(type) {
-		case *ast.Ident:
-			return x
-		case *ast.SelectorExpr:
-			e = x.X
-		default:
-			return nil
-		}
-	}
-}
-
-// exprString renders a selector chain for diagnostics without dragging in a
-// printer dependency; non-selector shapes fall back to the leaf name.
-func exprString(e ast.Expr) string {
-	switch x := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		if root := rootIdent(x); root != nil {
-			prefix := exprString(x.X)
-			if prefix != "" {
-				return prefix + "." + x.Sel.Name
-			}
-		}
-		return x.Sel.Name
-	default:
-		return ""
-	}
 }
