@@ -34,13 +34,11 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loaded no packages")
 	}
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(pkg, suite.Analyzers())
-		if err != nil {
-			t.Fatalf("running suite on %s: %v", pkg.PkgPath, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-		}
+	diags, err := analysis.RunSuite(pkgs, suite.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
 	}
 }

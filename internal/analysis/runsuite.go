@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+
+	"imdist/internal/parallel"
+)
+
+// A SuiteDiagnostic is one finding from a whole-module suite run, with its
+// package and resolved position attached so drivers (standalone imvet,
+// TestRepositoryIsClean, the -json writer) can print or serialize it without
+// holding the package's FileSet.
+type SuiteDiagnostic struct {
+	Package  string
+	Position token.Position
+	Diagnostic
+}
+
+// RunSuite runs the analyzer suite over every package with per-package
+// fan-out via internal/parallel: packages share nothing mutable (each has
+// its own FileSet and type info, and RunAnalyzers keeps its shared-result
+// cache per invocation), so package-level parallelism is safe and keeps
+// standalone imvet and TestRepositoryIsClean fast as the suite grows.
+//
+// Ordering is deterministic regardless of scheduling: results land in
+// index-addressed slots, so diagnostics come back grouped by package in
+// `go list` order and position-sorted within each package (RunAnalyzers
+// sorts them). The first package whose run fails determines the error.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) ([]SuiteDiagnostic, error) {
+	results := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	parallel.For(parallel.Resolve(-1, len(pkgs)), len(pkgs), func(_, i int) {
+		results[i], errs[i] = RunAnalyzers(pkgs[i], analyzers)
+	})
+	var out []SuiteDiagnostic
+	for i, pkg := range pkgs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("running suite on %s: %w", pkg.PkgPath, errs[i])
+		}
+		for _, d := range results[i] {
+			out = append(out, SuiteDiagnostic{
+				Package:    pkg.PkgPath,
+				Position:   pkg.Fset.Position(d.Pos),
+				Diagnostic: d,
+			})
+		}
+	}
+	return out, nil
+}
+
+// jsonDiagnostic is the per-finding JSON shape, matching the x/tools
+// unitchecker convention (`go vet -json`): a "posn" string and a message.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// WriteJSON serializes suite diagnostics as the `go vet -json` object shape:
+// package import path → analyzer name → findings. Map keys marshal sorted
+// and findings stay in slice (position) order, so the output is
+// deterministic and diffable.
+func WriteJSON(w io.Writer, diags []SuiteDiagnostic) error {
+	out := map[string]map[string][]jsonDiagnostic{}
+	for _, d := range diags {
+		byAnalyzer := out[d.Package]
+		if byAnalyzer == nil {
+			byAnalyzer = map[string][]jsonDiagnostic{}
+			out[d.Package] = byAnalyzer
+		}
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:    d.Position.String(),
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}

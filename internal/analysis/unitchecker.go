@@ -72,6 +72,23 @@ func VetMain(analyzers ...*Analyzer) {
 			exit(0)
 		}
 	}
+	// -json is the one vet flag imvet accepts (declared in the -flags
+	// inventory, so `go vet -json -vettool=…` passes it through). It may
+	// precede the unit config or the go list patterns.
+	jsonOut := false
+	rest := args[:0:0]
+	for _, a := range args {
+		switch a {
+		case "-json", "--json", "-json=true", "--json=true":
+			jsonOut = true
+		case "-json=false", "--json=false":
+			// explicit default
+		default:
+			rest = append(rest, a)
+		}
+	}
+	args = rest
+
 	if len(args) == 0 {
 		printHelp(progname, analyzers)
 		exit(2)
@@ -79,7 +96,7 @@ func VetMain(analyzers ...*Analyzer) {
 
 	// Unit-config mode: `go vet -vettool` passes exactly one *.cfg path.
 	if strings.HasSuffix(args[0], ".cfg") {
-		code, err := runUnit(args[0], analyzers)
+		code, err := runUnit(args[0], analyzers, jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			exit(1)
@@ -87,33 +104,40 @@ func VetMain(analyzers ...*Analyzer) {
 		exit(code)
 	}
 
-	// Standalone mode: treat the arguments as go list patterns.
+	// Standalone mode: treat the arguments as go list patterns and fan the
+	// suite out per package (RunSuite keeps the output order deterministic).
 	pkgs, err := Load(".", args...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		exit(1)
 	}
-	found := false
-	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, analyzers)
-		if err != nil {
+	diags, err := RunSuite(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		exit(1)
+	}
+	if jsonOut {
+		// JSON mode follows the `go vet -json` convention: findings are
+		// data on stdout, not an error exit.
+		if err := WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			exit(1)
 		}
-		for _, d := range diags {
-			found = true
-			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-		}
+		exit(0)
 	}
-	if found {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
 		exit(1)
 	}
 	exit(0)
 }
 
 // runUnit analyzes one go vet unit. The returned exit code follows the
-// unitchecker convention: 0 clean, 2 diagnostics reported.
-func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
+// unitchecker convention: 0 clean, 2 diagnostics reported — except in JSON
+// mode, where findings are data and the unit always exits 0.
+func runUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool) (int, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return 0, err
@@ -173,6 +197,15 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
 	if err := writeVetx(cfg.VetxOutput); err != nil {
 		return 0, err
 	}
+	if jsonOut {
+		var suiteDiags []SuiteDiagnostic
+		for _, d := range diags {
+			suiteDiags = append(suiteDiags, SuiteDiagnostic{
+				Package: cfg.ImportPath, Position: fset.Position(d.Pos), Diagnostic: d,
+			})
+		}
+		return 0, WriteJSON(os.Stdout, suiteDiags)
+	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
@@ -210,9 +243,10 @@ func printVersion(progname string) {
 }
 
 // printFlagDefs responds to `-flags`: a JSON inventory the go command uses
-// to validate pass-through vet flags. imvet currently exposes none.
+// to validate pass-through vet flags. imvet exposes exactly one, -json, so
+// `go vet -json -vettool=bin/imvet` forwards it to each unit invocation.
 func printFlagDefs() {
-	fmt.Println("[]")
+	fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit analysis diagnostics (and errors) in JSON form"}]`)
 }
 
 func printHelp(progname string, analyzers []*Analyzer) {
