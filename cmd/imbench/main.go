@@ -34,6 +34,20 @@
 // (-addr) the cache is whatever the server was started with; the single pass
 // runs first, so a warm cache there inflates the batch numbers — disable the
 // server's cache (imserve -cache -1) for an engine-to-engine comparison.
+//
+// With -targets the same workload is replayed against several servers in
+// turn — typically a single-process baseline and imserve -coordinator fronts
+// over growing shard fleets — and the report records each target's
+// throughput plus its scaling relative to the first target:
+//
+//	imbench -targets http://localhost:9080,http://localhost:9090 \
+//	        -mix hotspot -queries 4096 -out BENCH_cluster.json
+//
+// Before any timing, every target must answer a probe slice of the workload
+// byte-identically to the first target; a diverging fleet fails the run.
+// All modes drive the server through one shared HTTP transport whose
+// connection pool is sized to -concurrency, so workers reuse keep-alive
+// connections instead of churning through ephemeral ports.
 package main
 
 import (
@@ -126,6 +140,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("imbench", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "", "base URL of a running imserve (e.g. http://localhost:8080)")
+		multi       = fs.String("targets", "", "comma-separated base URLs to bench head to head with the identical workload (e.g. a single server and shard-fleet coordinators); asserts byte-identical answers and reports per-target scaling")
 		sketch      = fs.String("sketch", "", "serve these sketches in-process (comma-separated name=path or bare-path entries; alternative to -addr)")
 		sketchMix   = fs.String("sketches", "", "spread queries across named sketches, weighted round-robin (e.g. ic:2,lt:1); empty targets the default sketch")
 		mix         = fs.String("mix", "uniform", "seed-set mix: uniform, hotspot or singleton")
@@ -174,6 +189,21 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return runCompareKernels(*sketch, m, *queries, *maxSeeds, *batch, *repeat, *seed, *out, stdout)
 	}
+	if *multi != "" {
+		if *addr != "" || *sketch != "" || *sketchMix != "" {
+			return fmt.Errorf("-targets is mutually exclusive with -addr, -sketch and -sketches")
+		}
+		var bases []string
+		for _, t := range strings.Split(*multi, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				bases = append(bases, strings.TrimSuffix(t, "/"))
+			}
+		}
+		if len(bases) < 2 {
+			return fmt.Errorf("-targets needs at least two base URLs, got %d", len(bases))
+		}
+		return runMultiTarget(bases, m, *queries, *maxSeeds, *batch, *concurrency, *mode, *seed, *out, stdout)
+	}
 
 	base := strings.TrimSuffix(*addr, "/")
 	switch {
@@ -190,7 +220,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("either -addr or -sketch is required")
 	}
 
-	client := &http.Client{Timeout: 60 * time.Second}
+	client := newBenchClient(*concurrency)
 	health, err := fetchHealth(client, base)
 	if err != nil {
 		return fmt.Errorf("probing %s/healthz: %w", base, err)
@@ -297,9 +327,30 @@ func startInProcess(spec, kernel string) (func(), string, error) {
 	return stop, "http://" + ln.Addr().String(), nil
 }
 
+// newBenchClient builds the one HTTP client every replay worker shares. The
+// default transport keeps only 2 idle connections per host, so a closed-loop
+// run at higher -concurrency would churn through ephemeral connections and
+// measure TCP setup instead of the server; sizing the pool to the worker
+// count gives each worker a persistent connection, and MaxConnsPerHost caps
+// the client at exactly that many (a closed-loop driver never needs more).
+func newBenchClient(concurrency int) *http.Client {
+	return &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency,
+			MaxIdleConnsPerHost: concurrency,
+			MaxConnsPerHost:     concurrency,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
 type healthInfo struct {
 	Vertices int `json:"vertices"`
 	RRSets   int `json:"rr_sets"`
+	// Shards is non-zero when the target is an imserve -coordinator; its
+	// healthz reports the fleet size.
+	Shards int `json:"shards"`
 }
 
 func fetchHealth(client *http.Client, base string) (healthInfo, error) {
@@ -449,6 +500,180 @@ func encodeTargetedRequests(client *http.Client, base string, targets []workload
 		single = append(single, benchRequest{url: base + "/v1/sketches/" + name + "/influence", body: body, queries: 1})
 	}
 	return single, batched, mixRep, nil
+}
+
+// targetBenchReport is one target's slice of a -targets run.
+type targetBenchReport struct {
+	Target string `json:"target"`
+	// Shards is the fleet size behind the target (1 for a plain server).
+	Shards int         `json:"shards"`
+	Single *modeReport `json:"single,omitempty"`
+	Batch  *modeReport `json:"batch,omitempty"`
+	// SingleScaling and BatchScaling are this target's queries/s divided by
+	// the first target's — the near-linear-scaling evidence a shard fleet is
+	// expected to produce in batch mode.
+	SingleScaling float64 `json:"single_scaling,omitempty"`
+	BatchScaling  float64 `json:"batch_scaling,omitempty"`
+}
+
+// clusterReport is the JSON document a -targets run emits (BENCH_cluster.json
+// in CI).
+type clusterReport struct {
+	Mix         string `json:"mix"`
+	Queries     int    `json:"queries"`
+	MaxSeeds    int    `json:"max_seeds"`
+	BatchSize   int    `json:"batch_size"`
+	Concurrency int    `json:"concurrency"`
+	Seed        uint64 `json:"seed"`
+	Vertices    int    `json:"vertices"`
+	RRSets      int    `json:"rr_sets"`
+	// ProbeQueries is how many workload queries (plus one batch of them) every
+	// target answered byte-identically before any timing ran.
+	ProbeQueries int                 `json:"probe_queries"`
+	Targets      []targetBenchReport `json:"targets"`
+}
+
+// fetchRaw posts one body and returns the status and raw response bytes.
+func fetchRaw(client *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// runMultiTarget replays the identical workload against every target in turn
+// and reports per-target throughput plus scaling relative to the first. The
+// probe phase doubles as a correctness gate and a connection warm-up: every
+// target must answer the probe queries byte-identically to the first target,
+// which is what makes the later throughput numbers comparable at all — a
+// fleet that answers differently is misassembled, not fast.
+func runMultiTarget(bases []string, m workload.Mix, queries, maxSeeds, batch, concurrency int, mode string, seed uint64, out string, stdout io.Writer) error {
+	client := newBenchClient(concurrency)
+	healths := make([]healthInfo, len(bases))
+	for i, base := range bases {
+		h, err := fetchHealth(client, base)
+		if err != nil {
+			return fmt.Errorf("probing %s/healthz: %w", base, err)
+		}
+		if i > 0 && (h.Vertices != healths[0].Vertices || h.RRSets != healths[0].RRSets) {
+			return fmt.Errorf("target %s serves %d vertices / %d rr_sets, %s serves %d / %d — not the same sketch",
+				base, h.Vertices, h.RRSets, bases[0], healths[0].Vertices, healths[0].RRSets)
+		}
+		healths[i] = h
+	}
+	if healths[0].Vertices < 1 {
+		return fmt.Errorf("target %s reports %d vertices", bases[0], healths[0].Vertices)
+	}
+	seedSets, err := workload.SeedSets(m, healths[0].Vertices, queries, maxSeeds, rng.NewXoshiro(seed))
+	if err != nil {
+		return err
+	}
+
+	// Probe gate: a slice of the workload, singly and batched, must come back
+	// byte-identical from every target.
+	probeN := min(8, len(seedSets))
+	probeBodies := make([][]byte, 0, probeN+1)
+	for _, seeds := range seedSets[:probeN] {
+		body, _ := json.Marshal(toRequest(seeds))
+		probeBodies = append(probeBodies, body)
+	}
+	batchItems := make([]influenceRequest, probeN)
+	for i, seeds := range seedSets[:probeN] {
+		batchItems[i] = toRequest(seeds)
+	}
+	batchBody, err := json.Marshal(batchItems)
+	if err != nil {
+		return err
+	}
+	probeBodies = append(probeBodies, batchBody)
+	var want [][]byte
+	for ti, base := range bases {
+		got := make([][]byte, len(probeBodies))
+		for pi, body := range probeBodies {
+			url := base + "/v1/influence"
+			if pi == len(probeBodies)-1 {
+				url = base + "/v1/influence:batch"
+			}
+			status, raw, err := fetchRaw(client, url, body)
+			if err != nil {
+				return fmt.Errorf("probing %s: %w", url, err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("probing %s: status %d: %s", url, status, raw)
+			}
+			got[pi] = raw
+		}
+		if ti == 0 {
+			want = got
+			continue
+		}
+		for pi := range got {
+			if !bytes.Equal(got[pi], want[pi]) {
+				return fmt.Errorf("target %s diverges from %s on probe query %d:\n %s\n vs\n %s",
+					base, bases[0], pi, got[pi], want[pi])
+			}
+		}
+	}
+
+	rep := clusterReport{
+		Mix:          m.String(),
+		Queries:      queries,
+		MaxSeeds:     maxSeeds,
+		BatchSize:    batch,
+		Concurrency:  concurrency,
+		Seed:         seed,
+		Vertices:     healths[0].Vertices,
+		RRSets:       healths[0].RRSets,
+		ProbeQueries: probeN,
+	}
+	for i, base := range bases {
+		tr := targetBenchReport{Target: base, Shards: max(healths[i].Shards, 1)}
+		if mode == "single" || mode == "both" {
+			r := replay(client, encodeSingleRequests(base+"/v1/influence", seedSets), concurrency)
+			tr.Single = &r
+		}
+		if mode == "batch" || mode == "both" {
+			batched, err := encodeBatchRequests(base+"/v1/influence:batch", seedSets, batch)
+			if err != nil {
+				return err
+			}
+			r := replay(client, batched, concurrency)
+			tr.Batch = &r
+		}
+		if base0 := rep.Targets; len(base0) > 0 {
+			if tr.Single != nil && base0[0].Single != nil && base0[0].Single.QueriesPerSecond > 0 {
+				tr.SingleScaling = tr.Single.QueriesPerSecond / base0[0].Single.QueriesPerSecond
+			}
+			if tr.Batch != nil && base0[0].Batch != nil && base0[0].Batch.QueriesPerSecond > 0 {
+				tr.BatchScaling = tr.Batch.QueriesPerSecond / base0[0].Batch.QueriesPerSecond
+			}
+		} else {
+			if tr.Single != nil {
+				tr.SingleScaling = 1
+			}
+			if tr.Batch != nil {
+				tr.BatchScaling = 1
+			}
+		}
+		rep.Targets = append(rep.Targets, tr)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out != "" {
+		return os.WriteFile(out, enc, 0o644)
+	}
+	_, err = stdout.Write(enc)
+	return err
 }
 
 // replay issues every request from concurrency closed-loop clients, pulling

@@ -27,6 +27,20 @@
 // legacy routes (/v1/influence, ...) alias the -default sketch (first
 // loaded when unset).
 //
+// Coordinator mode fronts a fleet of imserve processes each serving one
+// shard of a sketch split by imsketch -split:
+//
+//	imserve -sketch big.sketch.shard0-of-2 -addr :8081
+//	imserve -sketch big.sketch.shard1-of-2 -addr :8082
+//	imserve -coordinator -shard-target http://localhost:8081 \
+//	        -shard-target http://localhost:8082 -addr :8080
+//
+// The coordinator serves the same public /v1 query API, byte-identical to a
+// single process on the unsplit sketch, by scatter-gathering integer RR-set
+// counts over the fleet (see internal/cluster). Shards hot-reload through
+// their own admin APIs; the coordinator verifies fleet assembly on every
+// query and answers 503 naming the missing target while a shard is down.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
 package main
@@ -46,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"imdist/internal/cluster"
 	"imdist/internal/server"
 )
 
@@ -79,7 +94,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("imserve", flag.ContinueOnError)
 	var sketches sketchFlags
 	fs.Var(&sketches, "sketch", "sketch to serve, as name=path or a bare path (repeatable, comma-separable)")
+	var shardTargets sketchFlags
+	fs.Var(&shardTargets, "shard-target", "shard server base URL for -coordinator mode (repeatable, comma-separable)")
 	var (
+		coordinator  = fs.Bool("coordinator", false, "front a fleet of -shard-target servers instead of serving sketches directly")
+		coordSketch  = fs.String("coordinator-sketch", "", "sketch name the coordinator's unnamed routes query on the shard servers (default: each shard's default sketch)")
+		greedyBatch  = fs.Int("greedy-batch", cluster.DefaultGreedyBatch, "stale candidates re-evaluated per scatter round of distributed /v1/seeds")
 		sketchDir    = fs.String("sketch-dir", "", "directory of *.sketch files to serve under their base names; SIGHUP re-scans it")
 		defaultName  = fs.String("default", "", "sketch name aliased by the unnamed legacy routes (default: first sketch loaded)")
 		addr         = fs.String("addr", ":8080", "listen address")
@@ -95,6 +115,31 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coordinator {
+		if len(sketches) != 0 || *sketchDir != "" {
+			return fmt.Errorf("-coordinator serves a shard fleet; it takes -shard-target, not -sketch/-sketch-dir")
+		}
+		var targets []string
+		for _, group := range shardTargets {
+			for _, t := range strings.Split(group, ",") {
+				if t = strings.TrimSpace(t); t != "" {
+					targets = append(targets, t)
+				}
+			}
+		}
+		return runCoordinator(cluster.Config{
+			Targets:         targets,
+			Sketch:          *coordSketch,
+			MaxBodyBytes:    *maxBody,
+			MaxSeeds:        *maxSeeds,
+			MaxK:            *maxK,
+			MaxBatchQueries: *maxBatch,
+			GreedyBatch:     *greedyBatch,
+		}, *addr)
+	}
+	if len(shardTargets) != 0 {
+		return fmt.Errorf("-shard-target requires -coordinator")
 	}
 	if len(sketches) == 0 && *sketchDir == "" {
 		return fmt.Errorf("at least one -sketch or a -sketch-dir is required")
@@ -188,6 +233,24 @@ func run(args []string) error {
 
 	log.Printf("serving on %s", *addr)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shut down cleanly")
+	return nil
+}
+
+// runCoordinator serves the public query API over a shard fleet until
+// SIGINT/SIGTERM.
+func runCoordinator(cfg cluster.Config, addr string) error {
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("coordinating %d shard target(s) %v", len(cfg.Targets), cfg.Targets)
+	log.Printf("serving on %s", addr)
+	if err := coord.ListenAndServe(ctx, addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	log.Printf("shut down cleanly")

@@ -25,6 +25,14 @@
 //	imsketch -graph big.txt -rr 100000000 -checkpoint big.ckpt -resume -out big.sketch
 //	imsketch -graph big.txt -rr 100000000 -spill -mem-budget 256MiB -out big.sketch
 //	imsketch -info karate.sketch
+//	imsketch -split 4 big.sketch
+//
+// -split N partitions an existing sketch into N shard files
+// (<sketch>.shard<i>-of-<N>, or -out as the prefix) along the batch engine's
+// 64Ki-set block boundaries. Each shard is a complete sketch over a
+// contiguous slice of the RR-set pool and records its shard lineage, so a
+// fleet of imserve processes — one per shard, fronted by
+// imserve -coordinator — serves the original sketch's answers byte for byte.
 //
 // The pipeline end to end:
 //
@@ -124,6 +132,7 @@ func run(args []string) error {
 		kernel     = fs.String("kernel", "auto", "coverage kernel for the build's error-bound evaluations: auto, epoch or bitpack (sketch bytes are identical either way)")
 		out        = fs.String("out", "", "output sketch path (required for a build)")
 		info       = fs.String("info", "", "verify an existing sketch or checkpoint section by section and exit")
+		split      = fs.Int("split", 0, "split the sketch file given as the positional argument into this many shard files and exit (-out sets the shard-name prefix)")
 		targetEps  = fs.Float64("target-eps", 0, "build adaptively to this relative error (0 = fixed -rr build)")
 		delta      = fs.Float64("delta", 0.01, "failure probability of the -target-eps error bound")
 		boundK     = fs.Int("k", 10, "seed-set size the -target-eps error bound targets")
@@ -139,6 +148,12 @@ func run(args []string) error {
 	}
 	if *info != "" {
 		return describe(*info)
+	}
+	if *split != 0 {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-split expects exactly one sketch path argument, got %d", fs.NArg())
+		}
+		return splitSketch(fs.Arg(0), *out, *split)
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required (or use -info to inspect a sketch)")
@@ -319,6 +334,29 @@ func run(args []string) error {
 	return nil
 }
 
+// splitSketch partitions an existing sketch file into shard files, reporting
+// each written shard's path and slice.
+func splitSketch(in, outPrefix string, shards int) error {
+	if outPrefix == "" {
+		outPrefix = in
+	}
+	start := time.Now()
+	paths, err := imdist.SplitSketchFile(in, outPrefix, shards)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fi, err := imdist.InspectSketchFile(p)
+		if err != nil {
+			return fmt.Errorf("verifying %s: %w", p, err)
+		}
+		fmt.Printf("shard %d/%d: %s (%d of %d rr_sets, %d bytes)\n",
+			fi.ShardIndex, fi.ShardCount, p, fi.RRSets, fi.TotalSets, fi.Size)
+	}
+	fmt.Printf("split %s into %d shards in %v\n", in, len(paths), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 // describe verifies every section of a sketch or checkpoint file — structure
 // and CRC-32C — and prints per-section extents. A corrupt file is reported
 // section by section and returned as an error (nonzero exit).
@@ -333,6 +371,9 @@ func describe(path string) error {
 	}
 	fmt.Printf("%s: v%d n=%d rr_sets=%d model=%s seed=%d size=%d\n",
 		kind, fi.Version, fi.Vertices, fi.RRSets, fi.Model, fi.BuildSeed, fi.Size)
+	if fi.ShardCount > 0 {
+		fmt.Printf("shard %d of %d, fleet total %d rr_sets\n", fi.ShardIndex, fi.ShardCount, fi.TotalSets)
+	}
 	fmt.Printf("%-12s %10s %12s %10s %10s %s\n", "section", "offset", "size", "rr_sets", "crc32c", "status")
 	for _, s := range fi.Sections {
 		status := "ok"

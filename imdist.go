@@ -839,6 +839,12 @@ type SketchFileInfo struct {
 	BuildSeed uint64
 	Vertices  int
 	RRSets    int
+	// ShardIndex, ShardCount and TotalSets are the shard lineage of a sketch
+	// produced by SplitSketchFile (imsketch -split): which slice of which
+	// fleet this file is. ShardCount is 0 for an unsharded sketch.
+	ShardIndex int
+	ShardCount int
+	TotalSets  int
 	// Sections lists the file's physical sections in order; Corrupt reports
 	// whether any failed its structure or checksum checks.
 	Sections []SketchSection
@@ -879,6 +885,11 @@ func InspectSketchFile(path string) (*SketchFileInfo, error) {
 		RRSets:    fi.NumSets,
 		Corrupt:   fi.Corrupt,
 	}
+	if fi.Shard.Sharded() {
+		out.ShardIndex = fi.Shard.Index
+		out.ShardCount = fi.Shard.Count
+		out.TotalSets = fi.Shard.TotalSets
+	}
 	out.Sections = make([]SketchSection, len(fi.Sections))
 	for i, s := range fi.Sections {
 		out.Sections[i] = SketchSection{
@@ -892,6 +903,20 @@ func InspectSketchFile(path string) (*SketchFileInfo, error) {
 		}
 	}
 	return out, nil
+}
+
+// SplitSketchFile partitions the sketch file at path into shards files along
+// the batch engine's internal 64Ki-set block boundaries (imsketch -split).
+// Each output — written next to outPrefix as
+// "<outPrefix>.shard<i>-of-<shards>" — is a complete, independently loadable
+// sketch over a contiguous slice of the RR-set pool, carrying shard lineage
+// (index, fleet size, fleet-wide set total) that imserve surfaces and the
+// cluster coordinator verifies on every query. The input is fully validated
+// (structure and CRC-32C) before any shard is written; payload bytes are
+// copied verbatim, so decoded shards reproduce the original's RR sets
+// record for record. Splitting an already-split shard is rejected.
+func SplitSketchFile(path, outPrefix string, shards int) ([]string, error) {
+	return sketchio.SplitSketch(path, outPrefix, shards)
 }
 
 // StudyOptions configures a solution-distribution study (the paper's core

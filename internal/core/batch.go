@@ -34,11 +34,35 @@ func (o *Oracle) BatchInfluence(seedSets [][]graph.VertexID, workers int) (value
 	return o.batchInfluence(seedSets, workers, DefaultBatchShardSize)
 }
 
+// BatchCoverage is BatchInfluence returning raw coverage counts instead of
+// influence values: counts[i] is the exact number of RR sets intersecting
+// seedSets[i]. It is the batch primitive of the distributed serving tier —
+// per-shard counts are integers that merge exactly across a partitioned
+// fleet, where the float division by the fleet-wide TotalSets must happen
+// once, at the coordinator, to stay byte-identical to a single process.
+func (o *Oracle) BatchCoverage(seedSets [][]graph.VertexID, workers int) (counts []int64, errs []error) {
+	return o.batchCoverage(seedSets, workers, DefaultBatchShardSize)
+}
+
 // batchInfluence is BatchInfluence with an explicit shard size, so tests can
 // force multi-shard merging on small RR pools.
 func (o *Oracle) batchInfluence(seedSets [][]graph.VertexID, workers, shardSize int) ([]float64, []error) {
+	counts, errs := o.batchCoverage(seedSets, workers, shardSize)
+	values := make([]float64, len(seedSets))
+	for q := range counts {
+		if errs[q] != nil {
+			continue
+		}
+		values[q] = float64(o.n) * float64(counts[q]) / float64(o.numSets)
+	}
+	return values, errs
+}
+
+// batchCoverage is BatchCoverage with an explicit shard size, so tests can
+// force multi-shard merging on small RR pools.
+func (o *Oracle) batchCoverage(seedSets [][]graph.VertexID, workers, shardSize int) ([]int64, []error) {
 	numQueries := len(seedSets)
-	values := make([]float64, numQueries)
+	values := make([]int64, numQueries)
 	errs := make([]error, numQueries)
 	if numQueries == 0 {
 		return values, errs
@@ -109,7 +133,7 @@ func (o *Oracle) batchInfluence(seedSets [][]graph.VertexID, workers, shardSize 
 		for shard := 0; shard < numShards; shard++ {
 			hits += counts[shard*numQueries+q]
 		}
-		values[q] = float64(o.n) * float64(hits) / float64(o.numSets)
+		values[q] = hits
 	}
 	return values, errs
 }

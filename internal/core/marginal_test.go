@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"imdist/internal/graph"
+)
+
+// bothKernels runs fn against the oracle under the epoch and bitpack kernels.
+func bothKernels(t *testing.T, o *Oracle, fn func(t *testing.T, o *Oracle)) {
+	t.Helper()
+	for _, k := range []Kernel{KernelEpoch, KernelBitpack} {
+		t.Run(string(k), func(t *testing.T) {
+			if err := o.SetKernel(k); err != nil {
+				t.Fatal(err)
+			}
+			fn(t, o)
+		})
+	}
+}
+
+func TestCoverageMatchesInfluence(t *testing.T) {
+	o := mustOracle(t, karateIWC(t), 5000, 3)
+	seedSets := [][]graph.VertexID{
+		nil,
+		{0},
+		{33},
+		{0, 33, 2},
+		{5, 5, 5}, // duplicates must not double-count
+	}
+	bothKernels(t, o, func(t *testing.T, o *Oracle) {
+		for _, seeds := range seedSets {
+			hits, err := o.Coverage(seeds)
+			if err != nil {
+				t.Fatalf("Coverage(%v) = %v", seeds, err)
+			}
+			inf, err := o.Influence(seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := float64(o.NumVertices()) * float64(hits) / float64(o.NumSets())
+			if inf != want {
+				t.Errorf("Influence(%v) = %v, want %v from %d covered sets", seeds, inf, want, hits)
+			}
+		}
+	})
+	if _, err := o.Coverage([]graph.VertexID{99}); !errors.Is(err, ErrSeedOutOfRange) {
+		t.Errorf("out-of-range Coverage err = %v", err)
+	}
+}
+
+func TestBatchCoverageMatchesCoverage(t *testing.T) {
+	o := mustOracle(t, karateIWC(t), 5000, 4)
+	seedSets := [][]graph.VertexID{
+		{0}, {1, 2, 3}, nil, {33, 0}, {99}, {7},
+	}
+	bothKernels(t, o, func(t *testing.T, o *Oracle) {
+		counts, errs := o.BatchCoverage(seedSets, 4)
+		for i, seeds := range seedSets {
+			if i == 4 {
+				if !errors.Is(errs[i], ErrSeedOutOfRange) {
+					t.Errorf("item 4 err = %v", errs[i])
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("item %d err = %v", i, errs[i])
+			}
+			want, err := o.Coverage(seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if counts[i] != want {
+				t.Errorf("BatchCoverage[%d] = %d, want %d", i, counts[i], want)
+			}
+		}
+	})
+}
+
+func TestMarginalCoverageMatchesBruteForce(t *testing.T) {
+	o := mustOracle(t, karateIWC(t), 3000, 5)
+	n := o.NumVertices()
+	seedSets := [][]graph.VertexID{
+		nil,
+		{0},
+		{0, 33},
+		{0, 33, 2, 5, 8},
+	}
+	bothKernels(t, o, func(t *testing.T, o *Oracle) {
+		for _, seeds := range seedSets {
+			base, err := o.Coverage(seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gains, err := o.MarginalCoverage(seeds, nil)
+			if err != nil {
+				t.Fatalf("MarginalCoverage(%v, nil) = %v", seeds, err)
+			}
+			if len(gains) != n {
+				t.Fatalf("nil candidates: %d gains, want %d", len(gains), n)
+			}
+			for v := 0; v < n; v++ {
+				with, err := o.Coverage(append(append([]graph.VertexID(nil), seeds...), graph.VertexID(v)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gains[v] != with-base {
+					t.Errorf("seeds %v: gain[%d] = %d, want %d", seeds, v, gains[v], with-base)
+				}
+			}
+			// An explicit candidate list returns the same gains in its order.
+			cands := []graph.VertexID{33, 0, 7}
+			sub, err := o.MarginalCoverage(seeds, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range cands {
+				if sub[i] != gains[c] {
+					t.Errorf("seeds %v: candidate gain[%d] = %d, want %d", seeds, c, sub[i], gains[c])
+				}
+			}
+		}
+	})
+}
+
+func TestMarginalCoverageEmptySeedsIsMembershipCount(t *testing.T) {
+	o := mustOracle(t, twoStarGraph(t), 500, 6)
+	gains, err := o.MarginalCoverage(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < o.NumVertices(); v++ {
+		want, err := o.Coverage([]graph.VertexID{graph.VertexID(v)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gains[v] != want {
+			t.Errorf("gain[%d] = %d, want membership count %d", v, gains[v], want)
+		}
+	}
+}
+
+func TestMarginalCoverageValidation(t *testing.T) {
+	o := mustOracle(t, twoStarGraph(t), 100, 7)
+	if _, err := o.MarginalCoverage([]graph.VertexID{10}, nil); !errors.Is(err, ErrSeedOutOfRange) {
+		t.Errorf("bad seed err = %v", err)
+	}
+	if _, err := o.MarginalCoverage(nil, []graph.VertexID{10}); !errors.Is(err, ErrSeedOutOfRange) {
+		t.Errorf("bad candidate err = %v", err)
+	}
+	if gains, err := o.MarginalCoverage(nil, []graph.VertexID{}); err != nil || len(gains) != 0 {
+		t.Errorf("empty candidates = (%v, %v), want empty gains", gains, err)
+	}
+}
+
+// TestMarginalGreedyReproducesGreedySeeds runs the coordinator's argmax loop —
+// pick the candidate with the highest marginal count, ties to the smallest
+// vertex id — against MarginalCoverage and checks it selects the exact seed
+// sequence GreedySeeds returns.
+func TestMarginalGreedyReproducesGreedySeeds(t *testing.T) {
+	o := mustOracle(t, karateIWC(t), 4000, 8)
+	bothKernels(t, o, func(t *testing.T, o *Oracle) {
+		want := o.GreedySeeds(5)
+		var seeds []graph.VertexID
+		for len(seeds) < 5 {
+			gains, err := o.MarginalCoverage(seeds, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best, bestGain := graph.VertexID(0), int64(-1)
+			for v, g := range gains {
+				if g > bestGain {
+					best, bestGain = graph.VertexID(v), g
+				}
+			}
+			seeds = append(seeds, best)
+		}
+		for i := range want {
+			if seeds[i] != want[i] {
+				t.Fatalf("marginal greedy picked %v, GreedySeeds picked %v", seeds, want)
+			}
+		}
+	})
+}
+
+func TestShardLineage(t *testing.T) {
+	o := mustOracle(t, twoStarGraph(t), 100, 9)
+	if l := o.ShardLineage(); l.Sharded() {
+		t.Errorf("fresh oracle sharded: %+v", l)
+	}
+	good := ShardLineage{Index: 1, Count: 3, TotalSets: 450}
+	if err := o.SetShardLineage(good); err != nil {
+		t.Fatalf("valid lineage rejected: %v", err)
+	}
+	if got := o.ShardLineage(); got != good {
+		t.Errorf("ShardLineage() = %+v, want %+v", got, good)
+	}
+	if err := o.SetShardLineage(ShardLineage{}); err != nil {
+		t.Fatalf("clearing lineage rejected: %v", err)
+	}
+	for _, bad := range []ShardLineage{
+		{Index: 1, Count: 0, TotalSets: 0},     // nonzero index without count
+		{Index: 0, Count: 0, TotalSets: 100},   // nonzero totals without count
+		{Index: 3, Count: 3, TotalSets: 450},   // index out of range
+		{Index: -1, Count: 3, TotalSets: 450},  // negative index
+		{Index: 0, Count: 2, TotalSets: 50},    // fewer total sets than local
+		{Index: 0, Count: 200, TotalSets: 150}, // more shards than sets
+	} {
+		if err := o.SetShardLineage(bad); !errors.Is(err, ErrShardLineage) {
+			t.Errorf("lineage %+v err = %v, want ErrShardLineage", bad, err)
+		}
+	}
+}

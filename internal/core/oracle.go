@@ -47,6 +47,9 @@ type Oracle struct {
 	// the snapshot's exact encoded record size.
 	store        RRStore
 	payloadBytes int64
+	// shard records this oracle's place in a partitioned fleet (zero value
+	// for whole sketches); it travels with the oracle when serialized.
+	shard ShardLineage
 
 	// influencePool holds *influenceScratch, greedyPool holds *greedyScratch.
 	influencePool sync.Pool
@@ -59,6 +62,51 @@ type Oracle struct {
 
 // ErrEmptyGraph reports an oracle request on an empty graph.
 var ErrEmptyGraph = errors.New("core: empty influence graph")
+
+// ErrShardLineage reports an invalid shard lineage (internally inconsistent,
+// or inconsistent with the oracle it is attached to).
+var ErrShardLineage = errors.New("core: invalid shard lineage")
+
+// ShardLineage identifies an oracle's place in a partitioned sketch fleet:
+// this oracle holds shard Index of Count contiguous RR-set partitions of an
+// original sketch carrying TotalSets RR sets in all. A coordinator
+// (internal/cluster) uses the lineage to reject mis-assembled fleets —
+// shards from different splits, duplicated indexes, or a missing partition —
+// and to merge per-shard integer coverage counts into answers that are
+// byte-identical to the unsplit sketch's: influence is n·(Σ per-shard
+// hits)/TotalSets, so every shard must agree on TotalSets.
+//
+// The zero value (Count == 0) means "not a shard": a whole, unsplit sketch.
+type ShardLineage struct {
+	Index     int
+	Count     int
+	TotalSets int
+}
+
+// Sharded reports whether the lineage describes a partition (rather than a
+// whole sketch).
+func (l ShardLineage) Sharded() bool { return l.Count > 0 }
+
+// validate checks the lineage's internal consistency against the number of
+// RR sets the shard actually holds.
+func (l ShardLineage) validate(numSets int) error {
+	if !l.Sharded() {
+		if l.Index != 0 || l.TotalSets != 0 {
+			return fmt.Errorf("%w: zero Count with nonzero Index/TotalSets", ErrShardLineage)
+		}
+		return nil
+	}
+	if l.Index < 0 || l.Index >= l.Count {
+		return fmt.Errorf("%w: shard index %d outside [0, %d)", ErrShardLineage, l.Index, l.Count)
+	}
+	if l.TotalSets < numSets {
+		return fmt.Errorf("%w: total sets %d below this shard's %d", ErrShardLineage, l.TotalSets, numSets)
+	}
+	if l.Count > l.TotalSets {
+		return fmt.Errorf("%w: %d shards cannot partition %d RR sets", ErrShardLineage, l.Count, l.TotalSets)
+	}
+	return nil
+}
 
 // ErrSeedOutOfRange reports a caller-supplied seed vertex outside [0, n).
 var ErrSeedOutOfRange = errors.New("core: seed vertex out of range")
@@ -237,6 +285,22 @@ func (o *Oracle) PayloadBytes() int64 { return o.payloadBytes }
 // Store returns the RR-set store backing the oracle (read-only use).
 func (o *Oracle) Store() RRStore { return o.store }
 
+// ShardLineage returns the oracle's place in a partitioned fleet; the zero
+// value (Count 0) means the oracle is a whole, unsplit sketch.
+func (o *Oracle) ShardLineage() ShardLineage { return o.shard }
+
+// SetShardLineage records the oracle's shard lineage (sketchio sets it when
+// loading a shard file written by SplitSketch). The lineage must be
+// internally consistent and cover at least this oracle's RR sets; the zero
+// value clears it.
+func (o *Oracle) SetShardLineage(l ShardLineage) error {
+	if err := l.validate(o.numSets); err != nil {
+		return err
+	}
+	o.shard = l
+	return nil
+}
+
 // ValidateSeeds reports whether every seed lies in [0, n).
 func (o *Oracle) ValidateSeeds(seeds []graph.VertexID) error {
 	for _, s := range seeds {
@@ -282,19 +346,37 @@ func (o *Oracle) Influence(seeds []graph.VertexID) (float64, error) {
 // influenceOf is Influence for pre-validated seed sets (internal callers
 // whose seeds the oracle itself produced).
 func (o *Oracle) influenceOf(seeds []graph.VertexID) float64 {
+	return float64(o.n) * float64(o.coverageOf(seeds)) / float64(o.numSets)
+}
+
+// Coverage returns the raw coverage count of the seed set: the exact number
+// of the oracle's RR sets that intersect S. This is the per-shard primitive
+// of the distributed serving tier — coverage counts are integers, so summing
+// them across the shards of a partitioned sketch reproduces the unsplit
+// sketch's count exactly, and n·count/TotalSets reproduces its Influence
+// byte-identically.
+func (o *Oracle) Coverage(seeds []graph.VertexID) (int64, error) {
+	if err := o.ValidateSeeds(seeds); err != nil {
+		return 0, err
+	}
+	return o.coverageOf(seeds), nil
+}
+
+// coverageOf counts the RR sets intersecting a pre-validated seed set.
+func (o *Oracle) coverageOf(seeds []graph.VertexID) int64 {
 	if len(seeds) == 0 || o.numSets == 0 {
 		return 0
 	}
 	if len(seeds) == 1 {
 		// Fast path used heavily by Table 4 and the per-vertex rankings; both
 		// kernels count a single vertex's coverage as its membership length.
-		return float64(o.n) * float64(len(o.memberOf[seeds[0]])) / float64(o.numSets)
+		return int64(len(o.memberOf[seeds[0]]))
 	}
 	if o.useBitpack() {
-		return float64(o.n) * float64(o.bitpackCoverage(seeds)) / float64(o.numSets)
+		return o.bitpackCoverage(seeds)
 	}
 	s := o.getInfluenceScratch()
-	hit := 0
+	var hit int64
 	for _, v := range seeds {
 		for _, idx := range o.memberOf[v] {
 			if s.marks[idx] != s.epoch {
@@ -304,7 +386,7 @@ func (o *Oracle) influenceOf(seeds []graph.VertexID) float64 {
 		}
 	}
 	o.influencePool.Put(s)
-	return float64(o.n) * float64(hit) / float64(o.numSets)
+	return hit
 }
 
 // ConfidenceHalfWidth returns the half-width of the normal-approximation

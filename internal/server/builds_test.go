@@ -79,13 +79,13 @@ func TestAsyncBuildServesSketch(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("influence after build: status = %d, body %s", status, raw)
 	}
-	var got influenceResponse
+	var got InfluenceResponse
 	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatal(err)
 	}
 	// ...and answers exactly like the identically parameterized local build.
 	oracle := karateOracle(t) // 20000 sets, seed 7: the same deterministic sequence
-	want, err := oracle.Influence(canonicalSeeds([]int{0, 33}))
+	want, err := oracle.Influence(CanonicalSeeds([]int{0, 33}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestAsyncSpillBuildServesSketch(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("influence after spill build: status = %d, body %s", status, raw)
 	}
-	var got influenceResponse
+	var got InfluenceResponse
 	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatal(err)
 	}

@@ -73,7 +73,7 @@ func TestNamedSketchRoutes(t *testing.T) {
 	defer ts.Close()
 
 	for name, oracle := range map[string]*core.Oracle{"ic": ic, "lt": lt} {
-		want, err := oracle.Influence(canonicalSeeds([]int{0, 33}))
+		want, err := oracle.Influence(CanonicalSeeds([]int{0, 33}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestNamedSketchRoutes(t *testing.T) {
 		if status != http.StatusOK {
 			t.Fatalf("%s: status = %d, body %s", name, status, raw)
 		}
-		var got influenceResponse
+		var got InfluenceResponse
 		if err := json.Unmarshal(raw, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func TestNamedSketchRoutes(t *testing.T) {
 		}
 
 		wantV, wantI := oracle.TopSingleVertices(3)
-		var top topResponse
+		var top TopResponse
 		if status := getJSON(t, ts.URL+"/v1/sketches/"+name+"/top?k=3", &top); status != http.StatusOK {
 			t.Fatalf("%s top: status = %d", name, status)
 		}
@@ -101,15 +101,15 @@ func TestNamedSketchRoutes(t *testing.T) {
 
 	// The IC and LT oracles genuinely answer differently, so route mixups
 	// cannot hide.
-	icInf, _ := ic.Influence(canonicalSeeds([]int{0, 33}))
-	ltInf, _ := lt.Influence(canonicalSeeds([]int{0, 33}))
+	icInf, _ := ic.Influence(CanonicalSeeds([]int{0, 33}))
+	ltInf, _ := lt.Influence(CanonicalSeeds([]int{0, 33}))
 	if icInf == ltInf {
 		t.Fatalf("test sketches answer identically (%v); pick different builds", icInf)
 	}
 
 	// Legacy unnamed route == default sketch ("ic").
 	_, rawLegacy := postJSON(t, ts.URL+"/v1/influence", `{"seeds":[0,33]}`)
-	var legacy influenceResponse
+	var legacy InfluenceResponse
 	if err := json.Unmarshal(rawLegacy, &legacy); err != nil {
 		t.Fatal(err)
 	}
@@ -187,12 +187,12 @@ func TestAdminLoadUnload(t *testing.T) {
 		t.Errorf("loaded info = %+v", info)
 	}
 
-	want, err := extra.Influence(canonicalSeeds([]int{0, 33}))
+	want, err := extra.Influence(CanonicalSeeds([]int{0, 33}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, raw = postJSON(t, ts.URL+"/v1/sketches/extra/influence", `{"seeds":[0,33]}`)
-	var got influenceResponse
+	var got InfluenceResponse
 	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestSeedsCacheKeyedBySketchIdentity(t *testing.T) {
 		if status != http.StatusOK {
 			t.Fatalf("seeds: status = %d, body %s", status, raw)
 		}
-		var got seedsResponse
+		var got SeedsResponse
 		if err := json.Unmarshal(raw, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -430,11 +430,11 @@ func TestConcurrentMixedSketchesWithReload(t *testing.T) {
 	for name, oracle := range map[string]*core.Oracle{"ic": ic, "lt": lt} {
 		g := ground{name: name, infBody: `{"seeds":[0,33]}`, batch: `[{"seeds":[0]},{"seeds":[1,2]},{"seeds":[32,33]}]`}
 		var err error
-		if g.inf, err = oracle.Influence(canonicalSeeds([]int{0, 33})); err != nil {
+		if g.inf, err = oracle.Influence(CanonicalSeeds([]int{0, 33})); err != nil {
 			t.Fatal(err)
 		}
 		for _, seeds := range [][]int{{0}, {1, 2}, {32, 33}} {
-			inf, err := oracle.Influence(canonicalSeeds(seeds))
+			inf, err := oracle.Influence(CanonicalSeeds(seeds))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -494,7 +494,7 @@ func TestConcurrentMixedSketchesWithReload(t *testing.T) {
 				switch i % 4 {
 				case 0:
 					status, raw := postJSON(t, base+"/influence", gt.infBody)
-					var got influenceResponse
+					var got InfluenceResponse
 					if status != http.StatusOK || json.Unmarshal(raw, &got) != nil || got.Influence != gt.inf {
 						t.Errorf("%s influence = %s (status %d), want %v", gt.name, raw, status, gt.inf)
 						return
@@ -517,7 +517,7 @@ func TestConcurrentMixedSketchesWithReload(t *testing.T) {
 					}
 				case 2:
 					status, raw := postJSON(t, base+"/seeds", `{"k":3}`)
-					var got seedsResponse
+					var got SeedsResponse
 					if status != http.StatusOK || json.Unmarshal(raw, &got) != nil || got.Influence != gt.seedsInf {
 						t.Errorf("%s seeds = %s (status %d), want %v", gt.name, raw, status, gt.seedsInf)
 						return
@@ -528,7 +528,7 @@ func TestConcurrentMixedSketchesWithReload(t *testing.T) {
 						t.Error(err)
 						return
 					}
-					var got topResponse
+					var got TopResponse
 					err = json.NewDecoder(resp.Body).Decode(&got)
 					resp.Body.Close()
 					if err != nil || !reflect.DeepEqual(got.Influences, gt.topInf) {

@@ -233,6 +233,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sketches/{sketch}/influence:batch", s.handleBatchInfluence)
 	s.mux.HandleFunc("POST /v1/sketches/{sketch}/seeds", s.handleSeeds)
 	s.mux.HandleFunc("GET /v1/sketches/{sketch}/top", s.handleTop)
+	// Shard-fleet primitives: raw merge-able integer counts for the cluster
+	// coordinator (internal/cluster).
+	s.mux.HandleFunc("POST /v1/shard/coverage", s.handleShardCoverage)
+	s.mux.HandleFunc("POST /v1/shard/marginal", s.handleShardMarginal)
+	s.mux.HandleFunc("POST /v1/sketches/{sketch}/shard/coverage", s.handleShardCoverage)
+	s.mux.HandleFunc("POST /v1/sketches/{sketch}/shard/marginal", s.handleShardMarginal)
 	// Registry introspection and administration.
 	s.mux.HandleFunc("GET /v1/sketches", s.handleListSketches)
 	s.mux.HandleFunc("POST /v1/admin/sketches", s.handleAdminLoad)
@@ -356,9 +362,9 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// canonicalSeeds sorts and deduplicates seeds so equivalent seed sets share
+// CanonicalSeeds sorts and deduplicates seeds so equivalent seed sets share
 // one cache entry and one oracle evaluation.
-func canonicalSeeds(seeds []int) []graph.VertexID {
+func CanonicalSeeds(seeds []int) []graph.VertexID {
 	out := make([]graph.VertexID, len(seeds))
 	for i, v := range seeds {
 		out[i] = graph.VertexID(v)
@@ -392,7 +398,9 @@ type influenceRequest struct {
 	Seeds []int `json:"seeds"`
 }
 
-type influenceResponse struct {
+// InfluenceResponse is the body of a /v1/influence answer. It is exported so
+// the cluster coordinator can produce byte-identical responses.
+type InfluenceResponse struct {
 	Influence float64 `json:"influence"`
 	CI99      float64 `json:"ci99"`
 	Seeds     int     `json:"seeds"`
@@ -403,16 +411,23 @@ type influenceResponse struct {
 // error message, or "" when the request is valid. Shared by the single and
 // batch influence handlers so both reject exactly the same inputs.
 func (s *Server) validateInfluenceSeeds(oracle *core.Oracle, seeds []int) string {
+	return ValidateInfluenceSeeds(seeds, s.cfg.MaxSeeds, oracle.NumVertices())
+}
+
+// ValidateInfluenceSeeds is the influence-request seed validation shared with
+// the cluster coordinator, which must reject exactly the same inputs with
+// exactly the same messages to stay byte-identical to a single process.
+func ValidateInfluenceSeeds(seeds []int, maxSeeds, numVertices int) string {
 	if len(seeds) == 0 {
 		return "seeds must be non-empty"
 	}
-	if len(seeds) > s.cfg.MaxSeeds {
-		return fmt.Sprintf("too many seeds: %d > %d", len(seeds), s.cfg.MaxSeeds)
+	if len(seeds) > maxSeeds {
+		return fmt.Sprintf("too many seeds: %d > %d", len(seeds), maxSeeds)
 	}
 	for _, v := range seeds {
-		// Reject before the int32 conversion in canonicalSeeds can wrap.
-		if v < 0 || v >= oracle.NumVertices() {
-			return fmt.Sprintf("seed vertex %d not in [0, %d)", v, oracle.NumVertices())
+		// Reject before the int32 conversion in CanonicalSeeds can wrap.
+		if v < 0 || v >= numVertices {
+			return fmt.Sprintf("seed vertex %d not in [0, %d)", v, numVertices)
 		}
 	}
 	return ""
@@ -432,7 +447,7 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
-	seeds := canonicalSeeds(req.Seeds)
+	seeds := CanonicalSeeds(req.Seeds)
 	key := e.keyPrefix + seedsKey(seeds)
 	if v, ok := e.cache.Get(key); ok {
 		writeJSON(w, http.StatusOK, v)
@@ -445,7 +460,7 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := influenceResponse{
+	resp := InfluenceResponse{
 		Influence: inf,
 		CI99:      e.oracle.ConfidenceHalfWidth(2.576),
 		Seeds:     len(seeds),
@@ -454,12 +469,13 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// batchItemResponse is one element of a /v1/influence:batch response. A
-// valid item carries the same fields as a /v1/influence response; an invalid
-// one carries only an error message, so a single bad query never fails the
-// whole batch.
-type batchItemResponse struct {
-	*influenceResponse
+// BatchItem is one element of a /v1/influence:batch response. A valid item
+// carries the same fields as a /v1/influence response; an invalid one carries
+// only an error message, so a single bad query never fails the whole batch.
+// Repeated queries in one batch share a single *InfluenceResponse, which
+// encodes identically either way.
+type BatchItem struct {
+	*InfluenceResponse
 	Error string `json:"error,omitempty"`
 }
 
@@ -481,7 +497,7 @@ func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "too many batch queries: %d > %d", len(reqs), s.cfg.MaxBatchQueries)
 		return
 	}
-	items := make([]batchItemResponse, len(reqs))
+	items := make([]BatchItem, len(reqs))
 	// Resolve each item against the sketch's LRU first (batch and single
 	// requests use the same canonical cache keys), collecting the misses —
 	// deduplicated by canonical key, so a batch of repeated hotspot queries
@@ -499,15 +515,15 @@ func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
 			items[i].Error = msg
 			continue
 		}
-		seeds := canonicalSeeds(req.Seeds)
+		seeds := CanonicalSeeds(req.Seeds)
 		key := e.keyPrefix + seedsKey(seeds)
 		if j, ok := pendingByKey[key]; ok {
 			pending[j].items = append(pending[j].items, i)
 			continue
 		}
 		if v, ok := e.cache.Get(key); ok {
-			resp := v.(influenceResponse)
-			items[i].influenceResponse = &resp
+			resp := v.(InfluenceResponse)
+			items[i].InfluenceResponse = &resp
 			continue
 		}
 		pendingByKey[key] = len(pending)
@@ -529,10 +545,10 @@ func (s *Server) handleBatchInfluence(w http.ResponseWriter, r *http.Request) {
 				}
 				continue
 			}
-			resp := influenceResponse{Influence: values[j], CI99: ci, Seeds: len(p.seeds)}
+			resp := InfluenceResponse{Influence: values[j], CI99: ci, Seeds: len(p.seeds)}
 			e.cache.Put(p.key, resp)
 			for _, i := range p.items {
-				items[i].influenceResponse = &resp
+				items[i].InfluenceResponse = &resp
 			}
 		}
 	}
@@ -546,7 +562,9 @@ type seedsRequest struct {
 	K int `json:"k"`
 }
 
-type seedsResponse struct {
+// SeedsResponse is the body of a /v1/seeds answer (exported for the cluster
+// coordinator).
+type SeedsResponse struct {
 	Seeds     []int   `json:"seeds"`
 	Influence float64 `json:"influence"`
 }
@@ -587,7 +605,7 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		for i, v := range seeds {
 			out[i] = int(v)
 		}
-		resp := seedsResponse{Seeds: out, Influence: inf}
+		resp := SeedsResponse{Seeds: out, Influence: inf}
 		e.cache.Put(key, resp)
 		return resp, nil
 	})
@@ -599,7 +617,9 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-type topResponse struct {
+// TopResponse is the body of a /v1/top answer (exported for the cluster
+// coordinator).
+type TopResponse struct {
 	Vertices   []int     `json:"vertices"`
 	Influences []float64 `json:"influences"`
 }
@@ -640,7 +660,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		for i, v := range vs {
 			out[i] = int(v)
 		}
-		resp := topResponse{Vertices: out, Influences: infs}
+		resp := TopResponse{Vertices: out, Influences: infs}
 		e.cache.Put(key, resp)
 		return resp, nil
 	})
@@ -655,14 +675,20 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 // sketchInfo is the per-sketch metadata reported by GET /v1/sketches (and,
 // for the default sketch, flattened into /healthz).
 type sketchInfo struct {
-	Name             string  `json:"name"`
-	Default          bool    `json:"default"`
-	Vertices         int     `json:"vertices"`
-	RRSets           int     `json:"rr_sets"`
-	Model            string  `json:"model"`
-	BuildSeed        uint64  `json:"build_seed"`
-	Kernel           string  `json:"kernel"`
-	CI99             float64 `json:"ci99"`
+	Name      string  `json:"name"`
+	Default   bool    `json:"default"`
+	Vertices  int     `json:"vertices"`
+	RRSets    int     `json:"rr_sets"`
+	Model     string  `json:"model"`
+	BuildSeed uint64  `json:"build_seed"`
+	Kernel    string  `json:"kernel"`
+	CI99      float64 `json:"ci99"`
+	// Shard lineage, present only for sketches produced by imsketch -split:
+	// which slice of which fleet this is (the index pointer distinguishes
+	// shard 0 from "not sharded").
+	ShardIndex       *int    `json:"shard_index,omitempty"`
+	ShardCount       int     `json:"shard_count,omitempty"`
+	TotalSets        int     `json:"total_sets,omitempty"`
 	Source           string  `json:"source,omitempty"`
 	Mapped           bool    `json:"mapped"`
 	LoadedAgeSeconds float64 `json:"loaded_age_seconds"`
@@ -674,7 +700,7 @@ type sketchInfo struct {
 
 func (s *Server) infoFor(e *sketchEntry, defaultName string) sketchInfo {
 	hits, misses, size := e.cache.Stats()
-	return sketchInfo{
+	info := sketchInfo{
 		Name:             e.name,
 		Default:          e.name == defaultName,
 		Vertices:         e.oracle.NumVertices(),
@@ -691,6 +717,13 @@ func (s *Server) infoFor(e *sketchEntry, defaultName string) sketchInfo {
 		CacheSize:        size,
 		SeedComputations: e.seedRuns.Load(),
 	}
+	if l := e.oracle.ShardLineage(); l.Sharded() {
+		idx := l.Index
+		info.ShardIndex = &idx
+		info.ShardCount = l.Count
+		info.TotalSets = l.TotalSets
+	}
+	return info
 }
 
 type listSketchesResponse struct {
@@ -776,11 +809,16 @@ type healthzResponse struct {
 	Status string `json:"status"`
 	// The flat sketch fields describe the default sketch, preserving the
 	// single-sketch healthz contract older clients (and imbench) rely on.
-	Vertices      int      `json:"vertices"`
-	RRSets        int      `json:"rr_sets"`
-	Model         string   `json:"model"`
-	BuildSeed     uint64   `json:"build_seed"`
-	CI99          float64  `json:"ci99"`
+	Vertices  int     `json:"vertices"`
+	RRSets    int     `json:"rr_sets"`
+	Model     string  `json:"model"`
+	BuildSeed uint64  `json:"build_seed"`
+	CI99      float64 `json:"ci99"`
+	// Shard lineage of the default sketch, present only when it is a shard
+	// of a split fleet (see sketchInfo).
+	ShardIndex    *int     `json:"shard_index,omitempty"`
+	ShardCount    int      `json:"shard_count,omitempty"`
+	TotalSets     int      `json:"total_sets,omitempty"`
 	CacheHits     uint64   `json:"cache_hits"`
 	CacheMisses   uint64   `json:"cache_misses"`
 	CacheSize     int      `json:"cache_size"`
@@ -806,6 +844,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Model = e.oracle.Model().String()
 		resp.BuildSeed = e.oracle.BuildSeed()
 		resp.CI99 = e.oracle.ConfidenceHalfWidth(2.576)
+		if l := e.oracle.ShardLineage(); l.Sharded() {
+			idx := l.Index
+			resp.ShardIndex = &idx
+			resp.ShardCount = l.Count
+			resp.TotalSets = l.TotalSets
+		}
 		resp.CacheHits = hits
 		resp.CacheMisses = misses
 		resp.CacheSize = size

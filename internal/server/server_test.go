@@ -83,11 +83,11 @@ func TestInfluenceEndpoint(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("status = %d, body %s", status, raw)
 	}
-	var got influenceResponse
+	var got InfluenceResponse
 	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatal(err)
 	}
-	want, err := oracle.Influence(canonicalSeeds([]int{0, 33}))
+	want, err := oracle.Influence(CanonicalSeeds([]int{0, 33}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestBatchInfluenceEndpoint(t *testing.T) {
 		if items[i].Error != "" {
 			t.Fatalf("item %d: unexpected error %q", i, items[i].Error)
 		}
-		want, err := oracle.Influence(canonicalSeeds(seeds))
+		want, err := oracle.Influence(CanonicalSeeds(seeds))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +197,7 @@ func TestBatchInfluenceEndpoint(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("single after batch: status = %d", status)
 	}
-	var single influenceResponse
+	var single InfluenceResponse
 	if err := json.Unmarshal(raw, &single); err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestBatchMatchesSingleAcrossWorkerCounts(t *testing.T) {
 	}
 	var want []float64
 	for _, q := range queries {
-		inf, err := oracle.Influence(canonicalSeeds(q))
+		inf, err := oracle.Influence(CanonicalSeeds(q))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -316,7 +316,7 @@ func TestBatchDeduplicatesRepeatedQueries(t *testing.T) {
 	if err := json.Unmarshal(raw, &items); err != nil {
 		t.Fatal(err)
 	}
-	want5, err := oracle.Influence(canonicalSeeds([]int{5}))
+	want5, err := oracle.Influence(CanonicalSeeds([]int{5}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestTopDefaultRespectsMaxK(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
-	var got topResponse
+	var got TopResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +357,7 @@ func TestSeedsEndpoint(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("status = %d, body %s", status, raw)
 	}
-	var got seedsResponse
+	var got SeedsResponse
 	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +387,7 @@ func TestTopEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var got topResponse
+	var got TopResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
@@ -449,7 +449,7 @@ func TestConcurrentInfluence(t *testing.T) {
 	}
 	var wants []want
 	for _, seeds := range [][]int{{0}, {0, 33}, {1, 2, 3}, {32, 33}, {5, 11, 17, 23}} {
-		inf, err := oracle.Influence(canonicalSeeds(seeds))
+		inf, err := oracle.Influence(CanonicalSeeds(seeds))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -475,7 +475,7 @@ func TestConcurrentInfluence(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				var got influenceResponse
+				var got InfluenceResponse
 				err = json.NewDecoder(resp.Body).Decode(&got)
 				resp.Body.Close()
 				if err != nil {

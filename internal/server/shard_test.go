@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"imdist/internal/core"
+	"imdist/internal/graph"
+)
+
+func TestShardCoverageEndpoint(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle})
+
+	status, raw := postJSON(t, ts.URL+"/v1/shard/coverage", `{"seed_sets":[[0],[33,0,33],[],[99]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var resp ShardCoverageResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// An unsharded sketch reports itself as the whole 1-shard fleet.
+	if resp.ShardIndex != 0 || resp.ShardCount != 1 || resp.TotalSets != oracle.NumSets() {
+		t.Errorf("identity = %+v, want shard 0 of 1 over %d sets", resp.ShardIdentity, oracle.NumSets())
+	}
+	if resp.NumSets != oracle.NumSets() || resp.Vertices != oracle.NumVertices() {
+		t.Errorf("identity shape = %+v", resp.ShardIdentity)
+	}
+	want0, err := oracle.Coverage([]graph.VertexID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, err := oracle.Coverage([]graph.VertexID{0, 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Counts[0] != want0 || resp.Counts[1] != want1 || resp.Counts[2] != 0 {
+		t.Errorf("counts = %v, want [%d %d 0 _]", resp.Counts, want0, want1)
+	}
+	if len(resp.Errors) != 4 || resp.Errors[3] == "" || resp.Errors[0] != "" {
+		t.Errorf("errors = %q, want item 3 flagged only", resp.Errors)
+	}
+
+	// Empty batch and oversized batches are rejected outright.
+	if status, _ := postJSON(t, ts.URL+"/v1/shard/coverage", `{"seed_sets":[]}`); status != http.StatusBadRequest {
+		t.Errorf("empty seed_sets status = %d", status)
+	}
+}
+
+func TestShardMarginalEndpoint(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Oracle: oracle})
+
+	// Explicit candidates, in request order.
+	status, raw := postJSON(t, ts.URL+"/v1/shard/marginal", `{"seeds":[0],"candidates":[33,0,5]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var resp ShardMarginalResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	wantGains, err := oracle.MarginalCoverage([]graph.VertexID{0}, []graph.VertexID{33, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Gains) != 3 || resp.Gains[0] != wantGains[0] || resp.Gains[1] != 0 || resp.Gains[2] != wantGains[2] {
+		t.Errorf("gains = %v, want %v", resp.Gains, wantGains)
+	}
+
+	// Null candidates = all vertices; empty seeds = membership counts.
+	status, raw = postJSON(t, ts.URL+"/v1/shard/marginal", `{"seeds":[]}`)
+	if status != http.StatusOK {
+		t.Fatalf("all-vertices status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Gains) != oracle.NumVertices() {
+		t.Fatalf("all-vertices gains = %d entries, want %d", len(resp.Gains), oracle.NumVertices())
+	}
+	all, err := oracle.MarginalCoverage(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range all {
+		if resp.Gains[v] != all[v] {
+			t.Fatalf("gain[%d] = %d, want %d", v, resp.Gains[v], all[v])
+		}
+	}
+
+	// Out-of-range seeds and candidates are a 400, not a partial answer.
+	if status, _ := postJSON(t, ts.URL+"/v1/shard/marginal", `{"seeds":[99]}`); status != http.StatusBadRequest {
+		t.Errorf("bad seed status = %d", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/shard/marginal", `{"seeds":[0],"candidates":[99]}`); status != http.StatusBadRequest {
+		t.Errorf("bad candidate status = %d", status)
+	}
+}
+
+func TestShardEndpointsNamedRoutes(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{Sketches: map[string]*core.Oracle{"k": oracle}})
+	status, raw := postJSON(t, ts.URL+"/v1/sketches/k/shard/coverage", `{"seed_sets":[[0]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("named route status %d: %s", status, raw)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/sketches/nope/shard/marginal", `{"seeds":[0]}`); status != http.StatusNotFound {
+		t.Errorf("unknown sketch status = %d", status)
+	}
+}
+
+func TestLineageSurfacedInListAndHealthz(t *testing.T) {
+	oracle := loadedKarateOracle(t)
+	if err := oracle.SetShardLineage(core.ShardLineage{Index: 2, Count: 4, TotalSets: 80000}); err != nil {
+		t.Fatal(err)
+	}
+	plain := loadedKarateOracle(t)
+	ts := newTestServer(t, Config{
+		Oracle:   oracle,
+		Sketches: map[string]*core.Oracle{"plain": plain},
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/sketches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list listSketchesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]sketchInfo{}
+	for _, si := range list.Sketches {
+		byName[si.Name] = si
+	}
+	sharded := byName[DefaultSketchName]
+	if sharded.ShardIndex == nil || *sharded.ShardIndex != 2 || sharded.ShardCount != 4 || sharded.TotalSets != 80000 {
+		t.Errorf("sharded sketch info = %+v, want shard 2 of 4 over 80000", sharded)
+	}
+	if p := byName["plain"]; p.ShardIndex != nil || p.ShardCount != 0 || p.TotalSets != 0 {
+		t.Errorf("plain sketch leaked lineage: %+v", p)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.ShardIndex == nil || *hz.ShardIndex != 2 || hz.ShardCount != 4 || hz.TotalSets != 80000 {
+		t.Errorf("healthz lineage = index %v count %d total %d", hz.ShardIndex, hz.ShardCount, hz.TotalSets)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"imdist/internal/core"
 )
 
 // SectionInfo describes one physical section of a sketch or checkpoint file:
@@ -38,6 +40,9 @@ type FileInfo struct {
 	Version int
 	Meta    CheckpointMeta // model, build seed, vertex count
 	NumSets int            // total RR sets across all intact sections
+	// Shard is the file's shard lineage (zero value for unsharded sketches
+	// and checkpoints).
+	Shard core.ShardLineage
 	// Sections lists every physical section in file order.
 	Sections []SectionInfo
 	// Corrupt reports whether any section failed its checks.
@@ -109,7 +114,28 @@ func inspectV1(br *bufio.Reader, hdr []byte, info *FileInfo) error {
 	info.Meta = CheckpointMeta{Model: h.model, Seed: h.seed, N: h.n}
 	info.Sections = append(info.Sections, headerSection)
 
-	payload := SectionInfo{Name: "payload", Offset: headerLen, Size: int64(h.payloadLen)}
+	payloadOff := int64(headerLen)
+	if h.sharded {
+		sec := SectionInfo{Name: "lineage", Offset: headerLen, Size: lineageLen}
+		ext := make([]byte, lineageLen)
+		if _, err := io.ReadFull(io.TeeReader(br, crc), ext); err != nil {
+			sec.Detail = readErr(err).Error()
+			info.Sections = append(info.Sections, sec)
+			return nil
+		}
+		shard, err := parseLineage(ext)
+		if err != nil {
+			sec.Detail = err.Error()
+			info.Sections = append(info.Sections, sec)
+			return nil
+		}
+		info.Shard = shard
+		sec.OK = true
+		info.Sections = append(info.Sections, sec)
+		payloadOff += lineageLen
+	}
+
+	payload := SectionInfo{Name: "payload", Offset: payloadOff, Size: int64(h.payloadLen)}
 	// Validate-and-discard (nil arena): -info must verify multi-GB sketches
 	// without materializing their RR sets.
 	if _, err := readRecords(io.TeeReader(br, crc), h.n, h.numSets, h.payloadLen, nil); err != nil {
@@ -122,7 +148,7 @@ func inspectV1(br *bufio.Reader, hdr []byte, info *FileInfo) error {
 	info.NumSets = h.numSets
 	info.Sections = append(info.Sections, payload)
 
-	sum := SectionInfo{Name: "checksum", Offset: headerLen + int64(h.payloadLen), Size: 4}
+	sum := SectionInfo{Name: "checksum", Offset: payloadOff + int64(h.payloadLen), Size: 4}
 	var tail [4]byte
 	if _, err := io.ReadFull(br, tail[:]); err != nil {
 		sum.Detail = readErr(err).Error()

@@ -173,7 +173,18 @@ func decodeAliased(data []byte) (*core.Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload := body[headerLen:]
+	var lineage core.ShardLineage
+	payloadOff := headerLen
+	if h.sharded {
+		if len(body) < headerLen+lineageLen {
+			return nil, errShortSketch
+		}
+		if lineage, err = parseLineage(body[headerLen : headerLen+lineageLen]); err != nil {
+			return nil, err
+		}
+		payloadOff += lineageLen
+	}
+	payload := body[payloadOff:]
 	if h.payloadLen != uint64(len(payload)) {
 		return nil, fmt.Errorf("%w: header declares %d payload bytes, file carries %d", ErrCorrupt, h.payloadLen, len(payload))
 	}
@@ -205,5 +216,9 @@ func decodeAliased(data []byte) (*core.Oracle, error) {
 	if off != len(payload) {
 		return nil, fmt.Errorf("%w: %d unread payload bytes after last RR set", ErrCorrupt, len(payload)-off)
 	}
-	return core.NewOracleFromRRSets(h.n, h.model, h.seed, rrSets)
+	o, err := core.NewOracleFromRRSets(h.n, h.model, h.seed, rrSets)
+	if err != nil || !h.sharded {
+		return o, err
+	}
+	return applyLineage(o, lineage)
 }

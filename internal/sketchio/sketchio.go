@@ -10,7 +10,7 @@
 //	0       4     magic "IMSK"
 //	4       2     format version (1)
 //	6       1     diffusion model (0 = IC, 1 = LT)
-//	7       1     reserved (0)
+//	7       1     flags (bit 0 = sharded; all other bits reserved as 0)
 //	8       8     build seed
 //	16      8     number of vertices n
 //	24      8     number of RR sets R
@@ -18,11 +18,25 @@
 //	40      ...   R records: uint32 count, then count × int32 vertex ids
 //	40+len  4     CRC-32C (Castagnoli) of everything before it
 //
+// When the sharded flag is set a 24-byte lineage extension sits between the
+// header and the payload (shifting the payload and checksum down by 24):
+//
+//	40      8     shard index (0-based)
+//	48      8     shard count
+//	56      8     total RR sets across the whole fleet
+//
+// SplitSketch writes the extension so a shard is a complete, valid sketch on
+// its own and still names the fleet it belongs to — a coordinator assembling
+// shards can reject duplicates, gaps and mixed splits instead of silently
+// merging wrong counts. Unsharded sketches carry a zero flags byte and are
+// byte-identical to files written before the extension existed.
+//
 // Every record and the payload as a whole are length-prefixed, so a reader
 // can stream the file without buffering it and reject truncation early; the
 // trailing checksum catches bit rot. Decoding is strict: unknown versions,
-// out-of-range vertex ids, impossible lengths and trailing garbage are all
-// errors, never panics — sketches may come from untrusted storage.
+// unknown flag bits, out-of-range vertex ids, impossible lengths and
+// trailing garbage are all errors, never panics — sketches may come from
+// untrusted storage.
 package sketchio
 
 import (
@@ -47,6 +61,10 @@ const Version = 1
 const (
 	headerLen = 40
 	magic     = "IMSK"
+	// flagSharded marks a sketch produced by SplitSketch: a lineageLen-byte
+	// shard lineage extension follows the header.
+	flagSharded = 0x1
+	lineageLen  = 24
 	// maxRecordBuf caps the per-record read buffer a hostile count field can
 	// request before validation against n kicks in.
 	maxRecordBuf = 1 << 26 // 64 MiB, i.e. 2^24 vertices per RR set
@@ -65,7 +83,11 @@ var (
 
 // EncodedSize returns the exact on-disk size in bytes of o's sketch.
 func EncodedSize(o *core.Oracle) int64 {
-	return headerLen + o.PayloadBytes() + 4
+	size := int64(headerLen) + o.PayloadBytes() + 4
+	if o.ShardLineage().Sharded() {
+		size += lineageLen
+	}
+	return size
 }
 
 // Encode writes o as a sketch to w.
@@ -80,7 +102,7 @@ func Encode(w io.Writer, o *core.Oracle) error {
 	// no sizing pass over the (possibly disk-backed) sets is needed here; the
 	// single writeRecords pass below streams them segment by segment.
 	payload := uint64(o.PayloadBytes())
-	hdr := make([]byte, headerLen)
+	hdr := make([]byte, headerLen, headerLen+lineageLen)
 	copy(hdr, magic)
 	binary.LittleEndian.PutUint16(hdr[4:], Version)
 	hdr[6] = byte(o.Model())
@@ -88,6 +110,13 @@ func Encode(w io.Writer, o *core.Oracle) error {
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(o.NumVertices()))
 	binary.LittleEndian.PutUint64(hdr[24:], uint64(o.NumSets()))
 	binary.LittleEndian.PutUint64(hdr[32:], payload)
+	if l := o.ShardLineage(); l.Sharded() {
+		hdr[7] = flagSharded
+		hdr = hdr[:headerLen+lineageLen]
+		binary.LittleEndian.PutUint64(hdr[headerLen:], uint64(l.Index))
+		binary.LittleEndian.PutUint64(hdr[headerLen+8:], uint64(l.Count))
+		binary.LittleEndian.PutUint64(hdr[headerLen+16:], uint64(l.TotalSets))
+	}
 	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
@@ -173,6 +202,9 @@ type header struct {
 	n          int
 	numSets    int
 	payloadLen uint64
+	// sharded reports the flagSharded bit: a lineageLen-byte extension
+	// follows this header before the payload.
+	sharded bool
 }
 
 func parseHeader(hdr []byte) (header, error) {
@@ -189,9 +221,10 @@ func parseHeader(hdr []byte) (header, error) {
 	default:
 		return h, fmt.Errorf("%w: unknown diffusion model %d", ErrCorrupt, hdr[6])
 	}
-	if hdr[7] != 0 {
-		return h, fmt.Errorf("%w: nonzero reserved byte", ErrCorrupt)
+	if hdr[7]&^flagSharded != 0 {
+		return h, fmt.Errorf("%w: unknown flag bits %#02x", ErrCorrupt, hdr[7]&^byte(flagSharded))
 	}
+	h.sharded = hdr[7]&flagSharded != 0
 	h.seed = binary.LittleEndian.Uint64(hdr[8:])
 	n := binary.LittleEndian.Uint64(hdr[16:])
 	numSets := binary.LittleEndian.Uint64(hdr[24:])
@@ -212,6 +245,37 @@ func parseHeader(hdr []byte) (header, error) {
 	return h, nil
 }
 
+// parseLineage decodes the lineageLen-byte shard lineage extension of a
+// sharded sketch. Every field is bounds-checked here against the same
+// [1, 2^31) envelope as the header counts; cross-field consistency with the
+// shard's own RR-set count is enforced by core.Oracle.SetShardLineage once
+// the payload has decoded.
+func parseLineage(ext []byte) (core.ShardLineage, error) {
+	idx := binary.LittleEndian.Uint64(ext)
+	count := binary.LittleEndian.Uint64(ext[8:])
+	total := binary.LittleEndian.Uint64(ext[16:])
+	if count < 1 || count > math.MaxInt32 {
+		return core.ShardLineage{}, fmt.Errorf("%w: shard count %d outside [1, 2^31)", ErrCorrupt, count)
+	}
+	if idx >= count {
+		return core.ShardLineage{}, fmt.Errorf("%w: shard index %d outside [0, %d)", ErrCorrupt, idx, count)
+	}
+	if total < 1 || total > math.MaxInt32 {
+		return core.ShardLineage{}, fmt.Errorf("%w: fleet RR-set count %d outside [1, 2^31)", ErrCorrupt, total)
+	}
+	return core.ShardLineage{Index: int(idx), Count: int(count), TotalSets: int(total)}, nil
+}
+
+// applyLineage installs a decoded shard lineage on the reassembled oracle,
+// mapping a cross-field mismatch (more local sets than the fleet total, more
+// shards than sets) to a corruption error.
+func applyLineage(o *core.Oracle, l core.ShardLineage) (*core.Oracle, error) {
+	if err := o.SetShardLineage(l); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return o, nil
+}
+
 // Decode reads a sketch from r and reassembles the oracle. It streams: the
 // payload is consumed record by record with strict bounds checks, and the
 // trailing CRC-32C is verified against the bytes actually read.
@@ -228,6 +292,16 @@ func Decode(r io.Reader) (*core.Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
+	var lineage core.ShardLineage
+	if h.sharded {
+		ext := make([]byte, lineageLen)
+		if _, err := io.ReadFull(tee, ext); err != nil {
+			return nil, readErr(err)
+		}
+		if lineage, err = parseLineage(ext); err != nil {
+			return nil, err
+		}
+	}
 
 	rrSets, err := readRecords(tee, h.n, h.numSets, h.payloadLen, &vertexArena{})
 	if err != nil {
@@ -243,7 +317,11 @@ func Decode(r io.Reader) (*core.Oracle, error) {
 	if binary.LittleEndian.Uint32(tail[:]) != crc.Sum32() {
 		return nil, ErrChecksum
 	}
-	return core.NewOracleFromRRSets(h.n, h.model, h.seed, rrSets)
+	o, err := core.NewOracleFromRRSets(h.n, h.model, h.seed, rrSets)
+	if err != nil || !h.sharded {
+		return o, err
+	}
+	return applyLineage(o, lineage)
 }
 
 // readRecords decodes numSets length-prefixed RR-set records spanning exactly
